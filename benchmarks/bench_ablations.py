@@ -1,0 +1,31 @@
+"""Ablations over the design choices DESIGN.md calls out."""
+
+from conftest import emit
+
+from repro.analysis.ablations import (
+    ablate_block_size,
+    ablate_copy_budget,
+    ablate_granularity,
+)
+
+
+def test_ablation_granularity(benchmark):
+    result = benchmark(ablate_granularity)
+    emit(result.table)
+    bounds = [result.series[eta]["bound"] for eta in (1, 2, 4, 8)]
+    assert bounds == sorted(bounds)  # bigger blocks tolerate more scatter
+
+
+def test_ablation_copy_budget(benchmark):
+    result = benchmark(ablate_copy_budget)
+    emit(result.table)
+    # Bigger budgets shrink the lower bound, widening the window.
+    assert result.series[16] > result.series[1]
+    assert result.series[0] >= result.series[16]  # unbounded is widest
+
+
+def test_ablation_block_size(benchmark):
+    result = benchmark(ablate_block_size)
+    emit(result.table)
+    throughputs = [result.series[s] for s in (16, 32, 64, 128)]
+    assert throughputs == sorted(throughputs)  # amortization wins

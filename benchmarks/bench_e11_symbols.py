@@ -1,0 +1,13 @@
+"""E11 — Table 1 / §2: derived symbol quantities across profiles."""
+
+from conftest import emit
+
+from repro.analysis import e11_symbols
+
+
+def test_e11_symbol_table(benchmark):
+    result = benchmark(e11_symbols)
+    emit(result.table)
+    by_profile = {row[0]: row for row in result.table.rows}
+    assert by_profile["testbed-1991"][6] is True
+    assert by_profile["hdtv-2.5gbit"][6] is False

@@ -1,0 +1,11 @@
+"""E13 — §6.2 extension: variable-rate compression bounds."""
+
+from conftest import emit
+
+from repro.analysis import e13_variable_rate
+
+
+def test_e13_vbr_bounds(benchmark):
+    result = benchmark(e13_variable_rate)
+    emit(result.table)
+    assert all(gain > 1.0 for gain in result.gains.values())

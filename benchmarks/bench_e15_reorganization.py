@@ -1,0 +1,15 @@
+"""E15 — §6.2 extension: storage reorganization on a dense disk."""
+
+from conftest import emit
+
+from repro.analysis import e15_reorganization
+
+
+def test_e15_reorganization(benchmark):
+    result = benchmark.pedantic(
+        e15_reorganization, rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result.table)
+    assert not result.feasible_before
+    assert result.feasible_after
+    assert result.blocks_moved > 0

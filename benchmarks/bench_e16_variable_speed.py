@@ -1,0 +1,19 @@
+"""E16 — §3.3.2: fast-forward and slow-motion playback behaviours."""
+
+from conftest import emit
+
+from repro.analysis import e16_variable_speed
+
+
+def test_e16_variable_speed(benchmark):
+    result = benchmark.pedantic(
+        e16_variable_speed, rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result.table)
+    skip = result.rows["fast-forward 2x, skipping"]
+    noskip = result.rows["fast-forward 2x, no skip"]
+    slow = result.rows["slow motion 0.5x"]
+    # Skipping halves the fetches; slow motion idles the disk the most.
+    assert skip.metrics.blocks_delivered < noskip.metrics.blocks_delivered
+    assert slow.switch_idle_time > noskip.switch_idle_time
+    assert slow.task_switches > 0

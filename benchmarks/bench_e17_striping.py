@@ -1,0 +1,15 @@
+"""E17 — Fig. 3 end to end: striped storage on multi-head arrays."""
+
+from conftest import emit
+
+from repro.analysis import e17_striping
+
+
+def test_e17_striped_storage(benchmark):
+    result = benchmark.pedantic(
+        e17_striping, rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result.table)
+    assert all(m == 0 for m in result.misses_by_heads.values())
+    bounds = [result.bounds_by_heads[p] for p in (2, 4, 8)]
+    assert bounds == sorted(bounds)  # more heads, wider bound

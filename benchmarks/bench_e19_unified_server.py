@@ -1,0 +1,15 @@
+"""E19 — §3: the unified media + text file server."""
+
+from conftest import emit
+
+from repro.analysis import e19_unified_server
+
+
+def test_e19_unified_server(benchmark):
+    result = benchmark.pedantic(
+        e19_unified_server, rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result.table)
+    assert all(m == 0 for m in result.media_misses_by_load.values())
+    served = [result.text_served_by_load[n] for n in (0, 1, 2)]
+    assert served == sorted(served, reverse=True)

@@ -1,0 +1,17 @@
+"""E20 — Eq. (11) in full generality: per-request k for mixed workloads."""
+
+from conftest import emit
+
+from repro.analysis import e20_heterogeneous_k
+
+
+def test_e20_heterogeneous_admission(benchmark):
+    result = benchmark(e20_heterogeneous_k)
+    emit(result.table)
+    # The general solver dominates: admits everything uniform admits...
+    for name, uniform_ok in result.uniform_admitted.items():
+        if uniform_ok:
+            assert result.heterogeneous_admitted[name]
+    # ... and rescues mixed workloads the averaged model rejects.
+    assert not result.uniform_admitted["2 video + 4 audio"]
+    assert result.heterogeneous_admitted["2 video + 4 audio"]

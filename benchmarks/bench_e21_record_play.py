@@ -1,0 +1,16 @@
+"""E21 — §3/§3.4: concurrent storage + retrieval in one service loop."""
+
+from conftest import emit
+
+from repro.analysis import e21_record_and_play
+
+
+def test_e21_concurrent_record_play(benchmark):
+    result = benchmark.pedantic(
+        e21_record_and_play, rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result.table)
+    assert result.misses_by_load["1 record + 1 play"] == 0
+    assert result.misses_by_load["1 record + 2 play"] == 0
+    assert result.misses_by_load["2 record + 1 play"] == 0
+    assert result.misses_by_load["overload: 1-block staging, 3 play"] > 0

@@ -1,0 +1,14 @@
+"""E2 — Fig. 4 / Eqs. (15)-(17): blocks-per-round k against request count n."""
+
+from conftest import emit
+
+from repro.analysis import e2_k_vs_n
+from repro.analysis.report import render_series
+
+
+def test_e2_fig4_k_vs_n(benchmark):
+    result = benchmark(e2_k_vs_n)
+    emit(result.table, render_series(result.series_transition))
+    emit(f"n_max (Eq. 17) = {result.n_max}")
+    assert result.n_max >= 1
+    assert result.series_transition.ys == sorted(result.series_transition.ys)

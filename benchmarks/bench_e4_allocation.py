@@ -1,0 +1,14 @@
+"""E4 — §3: constrained vs random vs contiguous allocation."""
+
+from conftest import emit
+
+from repro.analysis import e4_allocation
+
+
+def test_e4_allocation_disciplines(benchmark):
+    result = benchmark.pedantic(
+        e4_allocation, rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result.table)
+    assert result.read_ahead_needed["constrained"] == 0
+    assert result.read_ahead_needed["random"] > 0

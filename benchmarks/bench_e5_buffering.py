@@ -1,0 +1,16 @@
+"""E5 — §3.3.2: buffer and read-ahead requirements."""
+
+from conftest import emit
+
+from repro.analysis import e5_buffering
+
+
+def test_e5_buffering_requirements(benchmark):
+    result = benchmark(e5_buffering)
+    emit(result.table)
+    emit(
+        f"task-switch read-ahead h = {result.switch_read_ahead} blocks; "
+        f"slow-motion (2x) accumulation = "
+        f"{result.accumulation_rate:.2f} blocks/s"
+    )
+    assert result.switch_read_ahead >= 1

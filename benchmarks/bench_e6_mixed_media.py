@@ -1,0 +1,11 @@
+"""E6 — §3.3.3 / Eqs. (4)-(6): homogeneous vs heterogeneous blocks."""
+
+from conftest import emit
+
+from repro.analysis import e6_mixed_media
+
+
+def test_e6_mixed_media_schemes(benchmark):
+    result = benchmark(e6_mixed_media)
+    emit(result.table)
+    assert result.heterogeneous_bound > result.homogeneous_bound

@@ -1,0 +1,12 @@
+"""E7 — §3's worked example: HDTV vs a projected 100-head disk array."""
+
+from conftest import emit
+
+from repro.analysis import e7_hdtv
+
+
+def test_e7_hdtv_infeasibility(benchmark):
+    result = benchmark(e7_hdtv)
+    emit(result.table)
+    assert abs(result.array_throughput - 0.32e9) / 0.32e9 < 0.05
+    assert result.shortfall > 7.0

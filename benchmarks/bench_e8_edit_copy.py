@@ -1,0 +1,16 @@
+"""E8 — §4.2 / Eqs. (19)-(20): seam-repair copying vs disk occupancy."""
+
+from conftest import emit
+
+from repro.analysis import e8_edit_copy
+
+
+def test_e8_editing_copy_bounds(benchmark):
+    result = benchmark.pedantic(
+        e8_edit_copy, rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result.table)
+    sparse_bound, _ = result.bounds["sparse"]
+    _, dense_bound = result.bounds["dense"]
+    assert result.copies["sparse"] <= sparse_bound
+    assert result.copies["dense"] <= dense_bound

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (see DESIGN.md §3) and
+prints its table/series through :func:`emit`.  Because pytest captures
+file descriptors during the run, emitted artifacts are buffered and
+flushed into the terminal summary after capture ends — so the rows appear
+in ``pytest benchmarks/ --benchmark-only`` output (and anything it is
+piped to) without requiring ``-s``.
+"""
+
+from typing import List
+
+_EMITTED: List[str] = []
+
+
+def emit(*renderables) -> None:
+    """Queue experiment output for the post-run terminal summary."""
+    for renderable in renderables:
+        text = renderable if isinstance(renderable, str) else (
+            renderable.render()
+        )
+        _EMITTED.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _EMITTED:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for text in _EMITTED:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

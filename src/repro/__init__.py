@@ -1,0 +1,71 @@
+"""repro — a reproduction of Rangan & Vin's multimedia file system.
+
+This library re-implements, from scratch and in pure Python, the system
+described in P. Venkat Rangan and Harrick M. Vin, *Designing File Systems
+for Digital Video and Audio* (SOSP 1991):
+
+* the **analytical storage model** relating disk and device characteristics
+  to recording rates, yielding storage *granularity* and *scattering*
+  parameters that guarantee continuous retrieval (:mod:`repro.core`);
+* the **admission-control algorithm** that decides whether a new
+  storage/retrieval request can be serviced without violating any active
+  request's real-time constraints (:mod:`repro.core.admission`);
+* a simulated **disk substrate** with constrained block allocation
+  (:mod:`repro.disk`) and simulated **media devices** (:mod:`repro.media`);
+* the **Multimedia Storage Manager** — strands, 3-level block indices,
+  silence elimination, garbage collection (:mod:`repro.fs`);
+* the **Multimedia Rope Server** — ropes, synchronization information, the
+  copy-free editing operations INSERT / REPLACE / SUBSTRING / CONCATE /
+  DELETE, and the §4.2 scattering-repair algorithm (:mod:`repro.rope`);
+* a **discrete-event simulation engine** and a round-based real-time
+  service loop used to validate continuity empirically
+  (:mod:`repro.sim`, :mod:`repro.service`);
+* workload generators and experiment drivers regenerating every
+  quantitative figure in the paper (:mod:`repro.workload`,
+  :mod:`repro.analysis`).
+
+Quick start::
+
+    from repro import config, core
+
+    profile = config.TESTBED_1991
+    block = core.video_block_model(profile.video, granularity=4)
+    l_max = core.max_scattering(
+        core.Architecture.PIPELINED, block, profile.disk,
+        profile.video_device,
+    )
+    print(f"blocks may be scattered up to {l_max * 1e3:.2f} ms apart")
+"""
+
+from repro import (
+    analysis,
+    config,
+    core,
+    disk,
+    errors,
+    fs,
+    media,
+    rope,
+    service,
+    sim,
+    units,
+    workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "config",
+    "core",
+    "disk",
+    "errors",
+    "fs",
+    "media",
+    "rope",
+    "service",
+    "sim",
+    "units",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,731 @@
+"""Experiment drivers beyond the paper's published evaluation.
+
+The §6.2 future-work directions and several claims the paper makes in
+prose but never measures, each implemented and driven end to end:
+
+* **E13** — variable-rate compression bounds
+  (:mod:`repro.core.variable_rate`);
+* **E14** — seek-minimizing request ordering vs the pessimistic
+  round-robin capacity estimate (:mod:`repro.service.scan_order`);
+* **E15** — storage reorganization on a densely utilized disk
+  (:mod:`repro.fs.reorganize`);
+* **E16** — variable-speed playback with disk task switching
+  (:mod:`repro.service.variable_speed`);
+* **E17** — Fig. 3 realized through striped storage on multi-head
+  arrays (:mod:`repro.fs.striped`);
+* **E18** — §3.3.1 strict-vs-average continuity under randomized
+  rotational latency (anti-jitter read-ahead);
+* **E19** — the §3 unified media+text server
+  (:mod:`repro.service.besteffort`);
+* **E20** — the general Eq.-(11) per-request-k admission
+  (:func:`repro.core.admission.solve_heterogeneous_k`);
+* **E21** — concurrent storage + retrieval in one round loop
+  (:mod:`repro.service.mixed_rounds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.experiments import fetches_with_gap
+from repro.analysis.report import Table
+from repro.config import TESTBED_1991, HardwareProfile
+from repro.core import admission as adm
+from repro.core.symbols import video_block_model
+from repro.core.variable_rate import group_read_ahead, vbr_gain
+from repro.disk import ScatterBounds, build_drive
+from repro.fs import MultimediaStorageManager
+from repro.fs.reorganize import Reorganizer
+from repro.media import frames_for_duration
+from repro.media.codec import DifferencingCodec
+from repro.service.rounds import RoundRobinService, StreamState
+from repro.service.scan_order import (
+    ScanOrderService,
+    measured_capacity,
+    probe_round_times,
+)
+from repro.service.variable_speed import simulate_variable_speed
+
+__all__ = [
+    "e13_variable_rate",
+    "e14_scan_ordering",
+    "e15_reorganization",
+    "e16_variable_speed",
+    "e17_striping",
+    "e18_antijitter",
+    "e19_unified_server",
+    "e20_heterogeneous_k",
+    "e21_record_and_play",
+]
+
+
+# ---------------------------------------------------------------------------
+# E13 — §6.2: variable-rate compression bounds
+# ---------------------------------------------------------------------------
+
+@dataclass
+class E13Result:
+    """CBR vs VBR scattering bounds per granularity."""
+
+    table: Table
+    gains: Dict[int, float]
+
+
+def e13_variable_rate(
+    profile: HardwareProfile = TESTBED_1991,
+) -> E13Result:
+    """Quantify §6.2: differencing compression widens the bounds."""
+    drive = build_drive()
+    params = drive.parameters()
+    codec = DifferencingCodec(key_ratio=2.0, diff_ratio=20.0, group_size=10)
+    table = Table(
+        title="E13: variable-rate compression bounds (§6.2 extension)",
+        columns=[
+            "granularity", "CBR bound (ms)", "VBR strict (ms)",
+            "VBR averaged (ms)", "gain", "read-ahead (blocks)",
+        ],
+    )
+    gains: Dict[int, float] = {}
+    for granularity in (1, 2, 4):
+        comparison = vbr_gain(profile.video, codec, granularity, params)
+        table.add_row(
+            granularity,
+            comparison.cbr_bound * 1e3,
+            comparison.vbr_strict_bound * 1e3,
+            comparison.vbr_average_bound * 1e3,
+            comparison.gain,
+            group_read_ahead(comparison.profile),
+        )
+        gains[granularity] = comparison.gain
+    return E13Result(table=table, gains=gains)
+
+
+# ---------------------------------------------------------------------------
+# E14 — §6.2: seek-minimizing service order
+# ---------------------------------------------------------------------------
+
+@dataclass
+class E14Result:
+    """Round-time and capacity comparison: round-robin vs SCAN order."""
+
+    table: Table
+    rr_mean_round: float
+    scan_mean_round: float
+    analytic_n_max: int
+    measured_n_max: int
+
+
+def e14_scan_ordering(
+    profile: HardwareProfile = TESTBED_1991,
+    n: int = 3,
+    k: int = 12,
+    blocks: int = 120,
+) -> E14Result:
+    """Service n regional streams under both orderings (§6.2).
+
+    Streams live in different disk regions (as real strands do), and the
+    round-robin arrival order is adversarial (low, high, mid, ...), so
+    FIFO rotation pays long seeks every switch while SCAN sweeps once per
+    round.  The measured per-stream cost then supports a capacity
+    estimate above Eq. (17)'s pessimistic one.
+    """
+    block = video_block_model(profile.video, 1)
+
+    def regional_streams(drive) -> List[StreamState]:
+        regions = list(range(n))
+        # Adversarial arrival order: alternate far ends.
+        order = sorted(regions, key=lambda r: (r % 2, r))
+        order = [order[i // 2] if i % 2 == 0 else order[-(i // 2 + 1)]
+                 for i in range(len(order))]
+        from repro.rope.server import BlockFetch
+
+        streams = []
+        for i, region in enumerate(order[:n]):
+            base_slot = region * drive.slots // n
+            # Consecutive slots: the compact placement a constrained
+            # allocator produces inside one strand's region.
+            fetches = [
+                BlockFetch(
+                    slot=min(base_slot + j, drive.slots - 1),
+                    bits=block.block_bits,
+                    duration=block.playback_duration,
+                )
+                for j in range(blocks)
+            ]
+            streams.append(
+                StreamState(
+                    request_id=f"s{i}", fetches=fetches,
+                    buffer_capacity=2 * k,
+                )
+            )
+        return streams
+
+    drive_rr = build_drive()
+    rr_probe = probe_round_times(
+        RoundRobinService(drive_rr, lambda r, m: k),
+        regional_streams(drive_rr),
+    )
+    drive_scan = build_drive()
+    scan_probe = probe_round_times(
+        ScanOrderService(drive_scan, lambda r, m: k),
+        regional_streams(drive_scan),
+    )
+    params = drive_rr.parameters()
+    descriptor = adm.RequestDescriptor(
+        block=block, scattering_avg=params.seek_avg
+    )
+    analytic = adm.n_max(adm.service_parameters([descriptor], params))
+    measured = measured_capacity(
+        block.playback_duration, k, scan_probe.worst, n
+    )
+    table = Table(
+        title="E14: request-service ordering (§6.2 extension)",
+        columns=[
+            "discipline", "mean round (ms)", "worst round (ms)",
+            "capacity estimate",
+        ],
+    )
+    table.add_row(
+        "round-robin (paper)", rr_probe.mean * 1e3, rr_probe.worst * 1e3,
+        analytic,
+    )
+    table.add_row(
+        "SCAN-ordered", scan_probe.mean * 1e3, scan_probe.worst * 1e3,
+        measured,
+    )
+    return E14Result(
+        table=table,
+        rr_mean_round=rr_probe.mean,
+        scan_mean_round=scan_probe.mean,
+        analytic_n_max=analytic,
+        measured_n_max=measured,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E15 — §6.2: storage reorganization
+# ---------------------------------------------------------------------------
+
+@dataclass
+class E15Result:
+    """Reorganization outcome on a fragmented, dense disk."""
+
+    table: Table
+    feasible_before: bool
+    feasible_after: bool
+    blocks_moved: int
+
+
+def e15_reorganization(
+    profile: HardwareProfile = TESTBED_1991,
+) -> E15Result:
+    """Fill and fragment the disk until placement fails, then reorganize.
+
+    Strands are placed with a *minimum* spacing (a real §4.2 copy budget)
+    and interleaved deletions fragment the free space so that a new
+    strand's scattering window cannot be satisfied; reorganization
+    migrates the survivors compactly and the placement succeeds.
+    """
+    drive = build_drive()
+    msm = MultimediaStorageManager(
+        drive, profile.video, profile.audio, profile.video_device,
+        profile.audio_device,
+    )
+    # Fill most of the disk with short strands (each packs ~60 adjacent
+    # slots under the default policy)...
+    strands = []
+    clip = frames_for_duration(profile.video, 8.0, source="filler")
+    while msm.occupancy < 0.72:
+        strands.append(msm.store_video_strand(clip))
+    # ... then delete every second one: free space is plentiful (~40 %)
+    # but shredded into ~60-slot runs separated by live strands.
+    for victim in strands[::2]:
+        msm.delete_strand(victim.strand_id)
+    # The demanding placement: a long strand with a *tight* scattering
+    # upper bound (hops of at most ~3 cylinders).  No fragmented free run
+    # is long enough, so placement fails until the survivors are
+    # migrated into one compact region.
+    rotation = drive.rotation.average_latency
+    tight = ScatterBounds(
+        0.0, rotation + drive.seek_model.seek_time(3) + 1e-6
+    )
+    reorganizer = Reorganizer(msm)
+    target_blocks = 160
+    feasible_before = reorganizer.placement_feasible(target_blocks, tight)
+    report = reorganizer.make_room(target_blocks, tight)
+    feasible_after = report.success
+    table = Table(
+        title="E15: storage reorganization on a dense disk (§6.2 extension)",
+        columns=["quantity", "value"],
+    )
+    table.add_row("occupancy", msm.occupancy)
+    table.add_row("placement feasible before", feasible_before)
+    table.add_row("strands migrated", report.strands_migrated)
+    table.add_row("blocks moved", report.blocks_moved)
+    table.add_row("placement feasible after", feasible_after)
+    return E15Result(
+        table=table,
+        feasible_before=feasible_before,
+        feasible_after=feasible_after,
+        blocks_moved=report.blocks_moved,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E16 — §3.3.2: variable-speed playback behaviours
+# ---------------------------------------------------------------------------
+
+@dataclass
+class E16Result:
+    """Fast-forward / slow-motion behaviour table."""
+
+    table: Table
+    rows: Dict[str, object]
+
+
+def e16_variable_speed(
+    profile: HardwareProfile = TESTBED_1991,
+    blocks: int = 120,
+) -> E16Result:
+    """Drive the §3.3.2 variable-speed claims end to end."""
+    block = video_block_model(profile.video, 4)
+    table = Table(
+        title="E16: variable-speed playback (§3.3.2)",
+        columns=[
+            "mode", "blocks fetched", "misses", "buffer high-water",
+            "task switches", "disk idle (s)",
+        ],
+    )
+    rows: Dict[str, object] = {}
+
+    def run(label: str, speed: float, skipping: bool, capacity: int):
+        drive = build_drive()
+        fetches = fetches_with_gap(
+            drive, blocks, drive.parameters().seek_avg,
+            block.block_bits, block.playback_duration,
+        )
+        result = simulate_variable_speed(
+            fetches, drive, speed=speed, skipping=skipping,
+            buffer_capacity=capacity,
+        )
+        table.add_row(
+            label, result.metrics.blocks_delivered, result.metrics.misses,
+            result.buffer_high_water, result.task_switches,
+            result.switch_idle_time,
+        )
+        rows[label] = result
+        return result
+
+    run("normal (1x)", 1.0, False, 8)
+    run("fast-forward 2x, skipping", 2.0, True, 8)
+    run("fast-forward 2x, no skip", 2.0, False, 16)
+    run("slow motion 0.5x", 0.5, False, 8)
+    return E16Result(table=table, rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# E17 — Fig. 3 end to end: striped storage on a multi-head array
+# ---------------------------------------------------------------------------
+
+@dataclass
+class E17Result:
+    """Striped-storage outcome per head count."""
+
+    table: Table
+    misses_by_heads: Dict[int, int]
+    bounds_by_heads: Dict[int, float]
+
+
+def e17_striping(
+    profile: HardwareProfile = TESTBED_1991,
+    frame_rate: float = 45.0,
+    seconds: float = 5.0,
+) -> E17Result:
+    """Store and play a demanding stream at increasing stripe widths.
+
+    The stream (45 fps, granularity 1) leaves a single testbed drive no
+    slack — its pipelined placement works but an unconstrained one does
+    not, and higher rates would be outright infeasible.  Striping over p
+    heads multiplies the per-head budget by (p−1); the experiment stores
+    the same stream through :class:`StripedStorageManager` at p = 2, 4, 8
+    and plays it back concurrently, reporting the per-member scattering
+    bound and the measured misses (all zero — Fig. 3 realized through the
+    storage manager, not synthetic placements).
+    """
+    from repro.core.symbols import VideoStream
+    from repro.fs.striped import StripedStorageManager
+    from repro.service import simulate_concurrent
+
+    stream = VideoStream(
+        frame_rate=frame_rate, frame_size=profile.video.frame_size
+    )
+    frames = frames_for_duration(stream, seconds, source="stripe")
+    table = Table(
+        title="E17: striped storage on multi-head arrays (Fig. 3 end to end)",
+        columns=[
+            "heads p", "per-member l_ds bound (ms)", "blocks",
+            "misses", "continuous",
+        ],
+    )
+    misses: Dict[int, int] = {}
+    bounds: Dict[int, float] = {}
+    from repro.disk import build_array
+
+    for heads in (2, 4, 8):
+        array = build_array(heads=heads)
+        manager = StripedStorageManager(
+            array, stream, profile.video_device, granularity=1
+        )
+        strand = manager.store_video_strand(frames)
+        metrics, _ = simulate_concurrent(
+            manager.playback_fetches(strand), array
+        )
+        table.add_row(
+            heads, manager.scattering_upper * 1e3, strand.block_count,
+            metrics.misses, metrics.continuous,
+        )
+        misses[heads] = metrics.misses
+        bounds[heads] = manager.scattering_upper
+    return E17Result(
+        table=table, misses_by_heads=misses, bounds_by_heads=bounds
+    )
+
+
+# ---------------------------------------------------------------------------
+# E18 — §3.3.1: strict vs average continuity under timing jitter
+# ---------------------------------------------------------------------------
+
+@dataclass
+class E18Result:
+    """Anti-jitter read-ahead outcome under randomized rotation."""
+
+    table: Table
+    misses_by_readahead: Dict[int, int]
+
+
+def e18_antijitter(
+    profile: HardwareProfile = TESTBED_1991,
+    blocks: int = 300,
+    seed: int = 31,
+) -> E18Result:
+    """Demonstrate §3.3.1: jitter breaks strict continuity; read-ahead
+    restores average continuity.
+
+    The placement sits exactly at the pipelined continuity bound — safe
+    under *deterministic* (expected) rotational latency, but "difficult
+    to achieve in the presence of scheduling and seek time variations":
+    with randomized rotation, blocks landing past the expectation miss.
+    "By introducing anti-jitter delay at the beginning of each request,
+    we can relax the continuity requirements so as to satisfy it on an
+    average" — a k-block read-ahead absorbs the variation entirely.
+    """
+    import random as _random
+
+    from repro.disk import build_drive as _build
+    from repro.service import simulate_pipelined
+
+    block = video_block_model(profile.video, 1)
+    table = Table(
+        title="E18: anti-jitter read-ahead under randomized rotation "
+              "(§3.3.1)",
+        columns=[
+            "read-ahead (blocks)", "misses", "miss ratio",
+            "startup latency (ms)",
+        ],
+    )
+    misses: Dict[int, int] = {}
+
+    def run(read_ahead: int):
+        rng = _random.Random(seed)
+        drive = _build(randomized_rotation=True, rng=rng)
+        params = drive.parameters()
+        from repro.core import continuity as _continuity
+
+        bound = _continuity.max_scattering(
+            _continuity.Architecture.PIPELINED, block, params,
+            profile.video_device,
+        )
+        fetches = fetches_with_gap(
+            drive, blocks, bound, block.block_bits,
+            block.playback_duration,
+        )
+        metrics, _ = simulate_pipelined(
+            fetches, drive, read_ahead=read_ahead
+        )
+        table.add_row(
+            read_ahead, metrics.misses, metrics.miss_ratio,
+            metrics.startup_latency * 1e3,
+        )
+        misses[read_ahead] = metrics.misses
+
+    for read_ahead in (0, 1, 2, 4, 8):
+        run(read_ahead)
+    return E18Result(table=table, misses_by_readahead=misses)
+
+
+# ---------------------------------------------------------------------------
+# E19 — §3: the unified media + text file server
+# ---------------------------------------------------------------------------
+
+@dataclass
+class E19Result:
+    """Unified-server outcome: media guarantee + text throughput."""
+
+    table: Table
+    media_misses_by_load: Dict[int, int]
+    text_served_by_load: Dict[int, int]
+
+
+def e19_unified_server(
+    profile: HardwareProfile = TESTBED_1991,
+    media_blocks: int = 80,
+    text_blocks: int = 200,
+    k: int = 4,
+) -> E19Result:
+    """Serve text files from the media server's slack (§3).
+
+    "A common file server can ... integrate the functions of both a
+    conventional text file server and a multimedia file server."  Text
+    blocks are stored in the scatter gaps and served inside each round's
+    leftover Eq.-(11) budget, so the real-time guarantee is preserved by
+    construction; text throughput falls as the media load grows.
+    """
+    from repro.service.besteffort import TextRequest, UnifiedService
+    from repro.service.rounds import StreamState
+
+    block = video_block_model(profile.video, 4)
+    table = Table(
+        title="E19: unified media + text service (§3)",
+        columns=[
+            "media streams", "media misses", "text blocks in slack",
+            "text share of round budget",
+        ],
+    )
+    media_misses: Dict[int, int] = {}
+    text_served: Dict[int, int] = {}
+    for n in (0, 1, 2):
+        drive = build_drive()
+        streams = []
+        for i in range(n):
+            fetches = fetches_with_gap(
+                drive, media_blocks, drive.parameters().seek_avg,
+                block.block_bits, block.playback_duration,
+            )
+            streams.append(
+                StreamState(
+                    request_id=f"m{i}", fetches=fetches,
+                    buffer_capacity=2 * k,
+                )
+            )
+        text = TextRequest(
+            "text", list(range(drive.slots // 2, drive.slots // 2 + text_blocks))
+        )
+        service = UnifiedService(
+            drive, lambda r, m: k, text_requests=[text]
+        )
+        if streams:
+            metrics = service.run(streams)
+            misses = sum(m.misses for m in metrics.values())
+            budget = service.rounds_run * k * block.playback_duration
+            share = service.text_time_used / budget if budget else 0.0
+        else:
+            # No media load: the entire disk belongs to text.
+            service.drain_text(0.0)
+            misses = 0
+            share = 1.0
+        table.add_row(n, misses, service.text_blocks_served, share)
+        media_misses[n] = misses
+        text_served[n] = service.text_blocks_served
+    return E19Result(
+        table=table,
+        media_misses_by_load=media_misses,
+        text_served_by_load=text_served,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E20 — Eq. (11) in full generality: per-request k for mixed workloads
+# ---------------------------------------------------------------------------
+
+@dataclass
+class E20Result:
+    """Uniform-average vs heterogeneous-k admission on mixed workloads."""
+
+    table: Table
+    uniform_admitted: Dict[str, bool]
+    heterogeneous_admitted: Dict[str, bool]
+
+
+def e20_heterogeneous_k(
+    profile: HardwareProfile = TESTBED_1991,
+) -> E20Result:
+    """Solve Eq. (11) per request instead of averaging (§3.4's general
+    formulation, which the paper leaves open).
+
+    Audio requests drain ~4x slower than video on the testbed, so the
+    averaged (α, β, γ) model — whose γ is the *fastest* drain — charges
+    every audio stream as if it were video and rejects mixes the disk can
+    easily serve.  The per-request solver admits them with small k_i for
+    audio and larger k_i for video, verified against the exact Eq. (11).
+    """
+    from repro.core.admission import (
+        RequestDescriptor,
+        k_transition,
+        round_feasible,
+        service_parameters,
+        solve_heterogeneous_k,
+    )
+    from repro.core.symbols import BlockModel
+
+    drive = build_drive()
+    params_disk = drive.parameters()
+    video_block = video_block_model(profile.video, 4)
+    audio_block = BlockModel(
+        unit_rate=profile.audio.sample_rate,
+        unit_size=profile.audio.sample_size,
+        granularity=4096,
+    )
+    video_req = RequestDescriptor(
+        block=video_block, scattering_avg=params_disk.seek_avg
+    )
+    audio_req = RequestDescriptor(
+        block=audio_block, scattering_avg=params_disk.seek_avg
+    )
+    mixes = {
+        "3 video": [video_req] * 3,
+        "2 video + 4 audio": [video_req] * 2 + [audio_req] * 4,
+        "1 video + 10 audio": [video_req] + [audio_req] * 10,
+        "16 audio": [audio_req] * 16,
+    }
+    table = Table(
+        title="E20: uniform-average vs per-request k (Eq. 11 in full)",
+        columns=[
+            "workload", "uniform model admits", "per-request k admits",
+            "k values", "Eq. 11 verified",
+        ],
+    )
+    uniform: Dict[str, bool] = {}
+    heterogeneous: Dict[str, bool] = {}
+    for name, mix in mixes.items():
+        try:
+            k_transition(service_parameters(mix, params_disk))
+            uniform_ok = True
+        except Exception:
+            uniform_ok = False
+        ks = solve_heterogeneous_k(mix, params_disk)
+        hetero_ok = ks is not None
+        verified = (
+            round_feasible(mix, params_disk, ks) if hetero_ok else False
+        )
+        k_display = (
+            "-" if ks is None else ",".join(str(k) for k in sorted(set(ks)))
+        )
+        table.add_row(name, uniform_ok, hetero_ok, k_display, verified)
+        uniform[name] = uniform_ok
+        heterogeneous[name] = hetero_ok
+    return E20Result(
+        table=table,
+        uniform_admitted=uniform,
+        heterogeneous_admitted=heterogeneous,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E21 — §3/§3.4: concurrent storage + retrieval
+# ---------------------------------------------------------------------------
+
+@dataclass
+class E21Result:
+    """Concurrent record+play outcomes across load levels."""
+
+    table: Table
+    misses_by_load: Dict[str, int]
+
+
+def e21_record_and_play(
+    profile: HardwareProfile = TESTBED_1991,
+    blocks: int = 40,
+    k: int = 4,
+) -> E21Result:
+    """Serve RECORD and PLAY requests in the same rounds (§3.4).
+
+    The admission analysis covers "storage/retrieval requests" uniformly
+    (writes cost what reads cost, per the §3 assumptions); the experiment
+    runs mixed populations and verifies that both directions stay
+    continuous at sane load and that an overloaded mix fails on the
+    recording side first (capture cannot be paused, so staging overruns
+    are where overload surfaces).
+    """
+    from repro.disk import (
+        ConstrainedScatterAllocator,
+        FreeMap,
+        ScatterBounds,
+        StrandPlacer,
+    )
+    from repro.service.mixed_rounds import MixedRoundService, RecordStream
+    from repro.service.rounds import StreamState
+
+    block = video_block_model(profile.video, 4)
+    table = Table(
+        title="E21: concurrent storage + retrieval (§3.4)",
+        columns=[
+            "workload", "play misses", "record misses",
+            "all continuous",
+        ],
+    )
+    misses: Dict[str, int] = {}
+
+    def run(label: str, players: int, recorders: int, capacity: int):
+        drive = build_drive()
+        freemap = FreeMap(drive.slots)
+        bounds = ScatterBounds(0.0, drive.rotation.average_latency + 0.01)
+        placer = StrandPlacer(
+            drive, ConstrainedScatterAllocator(drive, freemap, bounds)
+        )
+        records = []
+        for i in range(recorders):
+            placement = placer.place(blocks)
+            records.append(
+                RecordStream(
+                    request_id=f"rec{i}",
+                    slots=placement.slots,
+                    block_period=block.playback_duration,
+                    staging_capacity=capacity,
+                )
+            )
+        plays = []
+        for i in range(players):
+            fetches = fetches_with_gap(
+                drive, blocks, drive.parameters().seek_avg,
+                block.block_bits, block.playback_duration,
+            )
+            plays.append(
+                StreamState(
+                    request_id=f"play{i}", fetches=fetches,
+                    buffer_capacity=2 * k,
+                )
+            )
+        drive.park(0)
+        service = MixedRoundService(
+            drive, lambda r, n: k, record_streams=records
+        )
+        metrics = service.run(plays)
+        play_misses = sum(
+            m.misses for rid, m in metrics.items() if rid.startswith("play")
+        )
+        record_misses = sum(
+            m.misses for rid, m in metrics.items() if rid.startswith("rec")
+        )
+        table.add_row(
+            label, play_misses, record_misses,
+            play_misses + record_misses == 0,
+        )
+        misses[label] = play_misses + record_misses
+
+    run("1 record + 1 play", players=1, recorders=1, capacity=4)
+    run("1 record + 2 play", players=2, recorders=1, capacity=4)
+    run("2 record + 1 play", players=1, recorders=2, capacity=4)
+    run("overload: 1-block staging, 3 play", players=3, recorders=1,
+        capacity=1)
+    return E21Result(table=table, misses_by_load=misses)

@@ -1,0 +1,93 @@
+"""Plain-text rendering of experiment results (paper-style rows).
+
+Benchmarks print through these helpers so every experiment's output reads
+the same way: a titled table of aligned columns, or an (x, y) series
+rendered one point per line — the closest text analogue of the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.errors import ParameterError
+from repro.sim.metrics import SweepSeries
+
+__all__ = ["Table", "render_series", "format_cell"]
+
+Cell = Union[str, int, float, bool, None]
+
+
+def format_cell(value: Cell) -> str:
+    """Uniform cell formatting: floats to 4 significant digits."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, column-aligned text table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise ParameterError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """The table as aligned text."""
+        headers = [str(c) for c in self.columns]
+        body = [[format_cell(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in body))
+            if body
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_series(series: SweepSeries, width: int = 40) -> str:
+    """Render a sweep series with a crude inline bar chart.
+
+    The text analogue of a paper figure: one line per point, with a bar
+    proportional to y (scaled to the series maximum).
+    """
+    if not series.xs:
+        return f"{series.name}: (empty)"
+    top = max(abs(y) for y in series.ys) or 1.0
+    lines = [f"{series.name}  ({series.x_label} vs {series.y_label})"]
+    for x, y in zip(series.xs, series.ys):
+        bar = "#" * max(0, int(round(width * abs(y) / top)))
+        lines.append(f"  {format_cell(x):>10}  {format_cell(y):>12}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``profiles``
+    List the built-in hardware profiles with their derived §2 figures.
+``policy [--profile NAME]``
+    Show the §3.3.4 placement policies an MSM derives on a profile.
+``experiments [ID ...]``
+    Run experiment drivers (e1..e21; default: all) and print their
+    tables — the figure-regeneration harness without pytest.
+``demo``
+    The quickstart flow: derive policy, record a clip, play it back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import analysis
+from repro.config import PROFILES, get_profile
+from repro.core import continuity, video_block_model
+from repro.core.continuity import Architecture
+from repro.disk import build_drive
+from repro.errors import InfeasibleError
+from repro.fs import MultimediaStorageManager
+from repro.media import frames_for_duration, generate_talk_spurts
+from repro.rope import Media, MultimediaRopeServer
+from repro.service import PlaybackSession
+from repro.units import format_rate, format_seconds
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment registry: id -> driver returning an object with ``.table``.
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "e1": analysis.e1_architectures,
+    "e2": analysis.e2_k_vs_n,
+    "e3": analysis.e3_transition,
+    "e4": analysis.e4_allocation,
+    "e5": analysis.e5_buffering,
+    "e6": analysis.e6_mixed_media,
+    "e7": analysis.e7_hdtv,
+    "e8": analysis.e8_edit_copy,
+    "e9": analysis.e9_rope_ops,
+    "e10": analysis.e10_silence,
+    "e11": analysis.e11_symbols,
+    "e12": analysis.e12_prototype,
+    "e13": analysis.e13_variable_rate,
+    "e14": analysis.e14_scan_ordering,
+    "e15": analysis.e15_reorganization,
+    "e16": analysis.e16_variable_speed,
+    "e17": analysis.e17_striping,
+    "e18": analysis.e18_antijitter,
+    "e19": analysis.e19_unified_server,
+    "e20": analysis.e20_heterogeneous_k,
+    "e21": analysis.e21_record_and_play,
+}
+
+
+def _cmd_profiles(_args: argparse.Namespace) -> int:
+    for name in sorted(PROFILES):
+        profile = PROFILES[name]
+        print(f"{name}")
+        print(f"  {profile.description}")
+        print(
+            f"  video: {profile.video.frame_rate:g} fps x "
+            f"{profile.video.frame_size:g} bits/frame "
+            f"({format_rate(profile.video.bit_rate)})"
+        )
+        print(
+            f"  audio: {profile.audio.sample_rate:g} Hz x "
+            f"{profile.audio.sample_size:g} bits/sample"
+        )
+        print(
+            f"  disk: {format_rate(profile.disk.transfer_rate)}, seek "
+            f"max/avg/track = "
+            f"{format_seconds(profile.disk.seek_max)} / "
+            f"{format_seconds(profile.disk.seek_avg)} / "
+            f"{format_seconds(profile.disk.seek_track)}, "
+            f"{profile.disk.heads} head(s)"
+        )
+    return 0
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    try:
+        drive = build_drive()
+        msm = MultimediaStorageManager(
+            drive, profile.video, profile.audio,
+            profile.video_device, profile.audio_device,
+        )
+    except InfeasibleError as error:
+        print(f"no feasible policy on this profile: {error}")
+        return 1
+    for label, policy in (
+        ("video", msm.policies.video),
+        ("audio", msm.policies.audio),
+        ("mixed", msm.policies.mixed),
+    ):
+        print(
+            f"{label}: granularity {policy.granularity} units/block, "
+            f"block {policy.block_bits:g} bits, scattering "
+            f"[{format_seconds(policy.scattering_lower)}, "
+            f"{format_seconds(policy.scattering_upper)}]"
+        )
+    block = video_block_model(profile.video, msm.policies.video.granularity)
+    for architecture in (
+        Architecture.SEQUENTIAL, Architecture.PIPELINED
+    ):
+        try:
+            bound = continuity.max_scattering(
+                architecture, block, msm.disk_params, profile.video_device
+            )
+            print(
+                f"{architecture.value} l_ds bound: {format_seconds(bound)}"
+            )
+        except InfeasibleError:
+            print(f"{architecture.value}: infeasible at any scattering")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    ids = args.ids or sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment id(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(EXPERIMENTS, key=lambda e: int(e[1:])))}"
+        )
+        return 2
+    for experiment_id in ids:
+        result = EXPERIMENTS[experiment_id]()
+        print(result.table.render())
+        extra = getattr(result, "gc_behaviour", None)
+        if extra is not None:
+            print()
+            print(extra.render())
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    drive = build_drive()
+    msm = MultimediaStorageManager(
+        drive, profile.video, profile.audio,
+        profile.video_device, profile.audio_device,
+    )
+    mrs = MultimediaRopeServer(msm)
+    rng = random.Random(args.seed)
+    frames = frames_for_duration(profile.video, args.seconds, source="demo")
+    chunks = generate_talk_spurts(profile.audio, args.seconds, 0.35, rng)
+    request_id, rope_id = mrs.record("demo", frames=frames, chunks=chunks)
+    mrs.stop(request_id)
+    print(
+        f"recorded rope {rope_id}: "
+        f"{mrs.get_rope(rope_id).duration:.2f} s"
+    )
+    play_id = mrs.play("demo", rope_id, media=Media.AUDIO_VISUAL)
+    result = PlaybackSession(mrs).run([play_id])
+    metrics = result.metrics[play_id]
+    print(
+        f"played {metrics.blocks_delivered} blocks, misses "
+        f"{metrics.misses}, startup "
+        f"{format_seconds(metrics.startup_latency)}"
+    )
+    return 0 if metrics.continuous else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Rangan & Vin, 'Designing File Systems for "
+            "Digital Video and Audio' (SOSP 1991)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "profiles", help="list hardware profiles"
+    ).set_defaults(handler=_cmd_profiles)
+
+    policy = commands.add_parser(
+        "policy", help="show derived placement policies"
+    )
+    policy.add_argument(
+        "--profile", default="testbed-1991", help="profile name"
+    )
+    policy.set_defaults(handler=_cmd_policy)
+
+    experiments = commands.add_parser(
+        "experiments", help="run experiment drivers and print tables"
+    )
+    experiments.add_argument(
+        "ids", nargs="*",
+        help="experiment ids (e1..e21); default all",
+    )
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    demo = commands.add_parser("demo", help="record and play a demo clip")
+    demo.add_argument("--profile", default="testbed-1991")
+    demo.add_argument("--seconds", type=float, default=10.0)
+    demo.add_argument("--seed", type=int, default=2026)
+    demo.set_defaults(handler=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

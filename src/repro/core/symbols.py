@@ -1,0 +1,292 @@
+"""Table-1 symbol model: typed parameter sets for media, disk, and devices.
+
+The paper's analysis (§2, Table 1) is carried out over a small vocabulary of
+symbols.  This module gives each symbol a home in a frozen dataclass and
+derives the three compound quantities §2 defines from them:
+
+* *duration of playback* of a video block: ``η_vs / R_vr``,
+* *total delay to read* a video block: ``l_ds + η_vs·s_vf / R_dr``,
+* *time to display* a video block: ``η_vs·s_vf / R_vd``.
+
+The same arithmetic applies to audio blocks with (``η_as``, ``s_as``,
+``R_va``), so the block-level model is expressed once, generically, as
+:class:`BlockModel` and instantiated for either medium.
+
+Symbol correspondence (paper → code):
+
+====================  ==========================================
+``R_va``              ``AudioStream.sample_rate`` (samples/s)
+``R_vr``              ``VideoStream.frame_rate`` (frames/s)
+``R_dr``              ``DiskParameters.transfer_rate`` (bits/s)
+``R_vd``              ``DisplayDeviceParameters.display_rate`` (bits/s)
+``η_vs``              ``BlockModel.granularity`` (frames/block)
+``η_as``              ``BlockModel.granularity`` (samples/block)
+``s_vf``              ``VideoStream.frame_size`` (bits/frame)
+``s_as``              ``AudioStream.sample_size`` (bits/sample)
+``l_ds``              scattering parameter (seconds) — an argument,
+                      not a stored field, because deriving it is the
+                      whole point of §3
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "VideoStream",
+    "AudioStream",
+    "DiskParameters",
+    "DisplayDeviceParameters",
+    "BlockModel",
+    "video_block_model",
+    "audio_block_model",
+]
+
+
+def _require_positive(name: str, value: float) -> None:
+    """Reject non-positive physical quantities with a uniform message."""
+    if not value > 0:
+        raise ParameterError(f"{name} must be positive, got {value!r}")
+
+
+def _require_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ParameterError(f"{name} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class VideoStream:
+    """A video recording's rate and per-frame size.
+
+    Parameters
+    ----------
+    frame_rate:
+        ``R_vr`` — recording (and therefore playback) rate in frames/second.
+    frame_size:
+        ``s_vf`` — size of one (compressed) video frame in bits.
+    """
+
+    frame_rate: float
+    frame_size: float
+
+    def __post_init__(self) -> None:
+        _require_positive("frame_rate", self.frame_rate)
+        _require_positive("frame_size", self.frame_size)
+
+    @property
+    def bit_rate(self) -> float:
+        """Sustained data rate of the stream in bits/second."""
+        return self.frame_rate * self.frame_size
+
+    @property
+    def unit_duration(self) -> float:
+        """Duration of one frame in seconds (1/R_vr)."""
+        return 1.0 / self.frame_rate
+
+
+@dataclass(frozen=True)
+class AudioStream:
+    """An audio recording's sample rate and per-sample size.
+
+    Parameters
+    ----------
+    sample_rate:
+        ``R_va`` — samples per second.
+    sample_size:
+        ``s_as`` — size of one sample in bits.
+    """
+
+    sample_rate: float
+    sample_size: float
+
+    def __post_init__(self) -> None:
+        _require_positive("sample_rate", self.sample_rate)
+        _require_positive("sample_size", self.sample_size)
+
+    @property
+    def bit_rate(self) -> float:
+        """Sustained data rate of the stream in bits/second."""
+        return self.sample_rate * self.sample_size
+
+    @property
+    def unit_duration(self) -> float:
+        """Duration of one sample in seconds (1/R_va)."""
+        return 1.0 / self.sample_rate
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Disk characteristics the continuity analysis depends on.
+
+    The paper folds rotational latency into its seek figures ("access and
+    latency times"); we follow suit — ``seek_max`` and ``seek_avg`` are
+    *access* times inclusive of rotational latency.
+
+    Parameters
+    ----------
+    transfer_rate:
+        ``R_dr`` — bits/second moved once the head is positioned.
+    seek_max:
+        ``l_seek_max`` — worst-case access time between any two blocks
+        (full-stroke seek + rotational latency), seconds.
+    seek_avg:
+        Average access time used when the paper substitutes averages
+        (``l_ds_avg`` in Eqs. 12–14), seconds.
+    seek_track:
+        ``l_min_seek`` — access time between adjacent cylinders, seconds.
+        Used in the §3 buffering bound for unconstrained allocation.
+    cylinders:
+        ``n_cyl`` — total cylinder count.
+    heads:
+        ``p`` — number of independently positionable heads (degree of disk
+        concurrency).  1 for a plain drive, >1 for a RAID-like array.
+    """
+
+    transfer_rate: float
+    seek_max: float
+    seek_avg: float
+    seek_track: float
+    cylinders: int = 1000
+    heads: int = 1
+
+    def __post_init__(self) -> None:
+        _require_positive("transfer_rate", self.transfer_rate)
+        _require_non_negative("seek_max", self.seek_max)
+        _require_non_negative("seek_avg", self.seek_avg)
+        _require_non_negative("seek_track", self.seek_track)
+        if self.seek_avg > self.seek_max:
+            raise ParameterError(
+                f"seek_avg ({self.seek_avg}) cannot exceed "
+                f"seek_max ({self.seek_max})"
+            )
+        if self.seek_track > self.seek_avg:
+            raise ParameterError(
+                f"seek_track ({self.seek_track}) cannot exceed "
+                f"seek_avg ({self.seek_avg})"
+            )
+        if self.cylinders < 1:
+            raise ParameterError(f"cylinders must be >= 1, got {self.cylinders}")
+        if self.heads < 1:
+            raise ParameterError(f"heads must be >= 1, got {self.heads}")
+
+    def transfer_time(self, size_bits: float) -> float:
+        """Time to transfer *size_bits* once positioned, in seconds."""
+        _require_non_negative("size_bits", size_bits)
+        return size_bits / self.transfer_rate
+
+    def access_time(self, size_bits: float, gap: float) -> float:
+        """Total delay to read a block: positioning gap + transfer.
+
+        This is the left-hand side building block of every continuity
+        equation: ``gap + size/R_dr``.
+        """
+        _require_non_negative("gap", gap)
+        return gap + self.transfer_time(size_bits)
+
+    def unconstrained_buffer_bound(self, seek_target: float) -> int:
+        """§3 bound on out-of-order buffering under *random* allocation.
+
+        With unconstrained placement, achieving an average seek of
+        *seek_target* by sweeping the cylinders requires buffering up to
+        ``l_seek_track · n_cyl / seek_target`` blocks.
+        """
+        _require_positive("seek_target", seek_target)
+        return math.ceil(self.seek_track * self.cylinders / seek_target)
+
+
+@dataclass(frozen=True)
+class DisplayDeviceParameters:
+    """Display-side device characteristics (§3.3.4).
+
+    Parameters
+    ----------
+    display_rate:
+        ``R_vd`` — bits/second the device consumes while decompressing and
+        converting a block for display.
+    buffer_frames:
+        ``f`` — capacity of the device's internal buffer, in frames (or
+        samples, for an audio device).  Determines the feasible granularity
+        range per §3.3.4.
+    """
+
+    display_rate: float
+    buffer_frames: int = 2
+
+    def __post_init__(self) -> None:
+        _require_positive("display_rate", self.display_rate)
+        if self.buffer_frames < 1:
+            raise ParameterError(
+                f"buffer_frames must be >= 1, got {self.buffer_frames}"
+            )
+
+
+@dataclass(frozen=True)
+class BlockModel:
+    """A media block: *granularity* units of a stream, stored contiguously.
+
+    Works identically for video (units = frames) and audio (units =
+    samples); use :func:`video_block_model` / :func:`audio_block_model`
+    to construct one from a stream descriptor.
+
+    Parameters
+    ----------
+    unit_rate:
+        Units (frames or samples) recorded per second — ``R_vr`` or ``R_va``.
+    unit_size:
+        Bits per unit — ``s_vf`` or ``s_as``.
+    granularity:
+        Units per block — ``η_vs`` or ``η_as``.
+    """
+
+    unit_rate: float
+    unit_size: float
+    granularity: int
+
+    def __post_init__(self) -> None:
+        _require_positive("unit_rate", self.unit_rate)
+        _require_positive("unit_size", self.unit_size)
+        if self.granularity < 1:
+            raise ParameterError(
+                f"granularity must be >= 1 unit/block, got {self.granularity}"
+            )
+
+    @property
+    def block_bits(self) -> float:
+        """Size of one block in bits: ``η · s``."""
+        return self.granularity * self.unit_size
+
+    @property
+    def playback_duration(self) -> float:
+        """Duration of playback (== recording) of one block: ``η / R``."""
+        return self.granularity / self.unit_rate
+
+    @property
+    def blocks_per_second(self) -> float:
+        """Block consumption rate during normal-speed playback."""
+        return self.unit_rate / self.granularity
+
+    def read_time(self, disk: DiskParameters, scattering: float) -> float:
+        """Total delay to read one block: ``l_ds + η·s / R_dr`` (§2)."""
+        return disk.access_time(self.block_bits, scattering)
+
+    def display_time(self, device: DisplayDeviceParameters) -> float:
+        """Time to display one block: ``η·s / R_vd`` (§2)."""
+        return self.block_bits / device.display_rate
+
+    def with_granularity(self, granularity: int) -> "BlockModel":
+        """Return a copy of this model at a different granularity."""
+        return BlockModel(self.unit_rate, self.unit_size, granularity)
+
+
+def video_block_model(stream: VideoStream, granularity: int) -> BlockModel:
+    """Build the block model for *granularity* frames/block of *stream*."""
+    return BlockModel(stream.frame_rate, stream.frame_size, granularity)
+
+
+def audio_block_model(stream: AudioStream, granularity: int) -> BlockModel:
+    """Build the block model for *granularity* samples/block of *stream*."""
+    return BlockModel(stream.sample_rate, stream.sample_size, granularity)

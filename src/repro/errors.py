@@ -1,0 +1,187 @@
+"""Exception hierarchy for the multimedia file system reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+install a single catch-all around file-system operations while still being
+able to discriminate the interesting cases (admission rejection, continuity
+violation, allocation failure) individually.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "InfeasibleError",
+    "AdmissionError",
+    "AdmissionRejected",
+    "ContinuityViolation",
+    "DiskError",
+    "DiskFullError",
+    "AllocationError",
+    "ScatteringError",
+    "AddressError",
+    "StorageError",
+    "StrandError",
+    "StrandImmutableError",
+    "UnknownStrandError",
+    "IndexCorruptionError",
+    "RopeError",
+    "UnknownRopeError",
+    "IntervalError",
+    "AccessDenied",
+    "RequestError",
+    "UnknownRequestError",
+    "RequestStateError",
+    "GarbageCollectionError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Analytical model errors
+# ---------------------------------------------------------------------------
+
+class ParameterError(ReproError, ValueError):
+    """A model parameter is out of its physical domain (negative rate, ...)."""
+
+
+class InfeasibleError(ReproError):
+    """The continuity equations admit no solution for the given hardware.
+
+    Raised, for example, when asked for a scattering bound on a device whose
+    transfer rate cannot keep up with the recording rate at any granularity
+    (the paper's HDTV-on-a-1991-disk-array scenario).
+    """
+
+
+class AdmissionError(ReproError):
+    """Base class for admission-control failures."""
+
+
+class AdmissionRejected(AdmissionError):
+    """A new request was refused because it would violate continuity.
+
+    Carries the number of active requests and the computed maximum so the
+    caller (or test) can verify the refusal happened at the analytic limit.
+    """
+
+    def __init__(self, message: str, active: int = 0, n_max: int = 0):
+        super().__init__(message)
+        self.active = active
+        self.n_max = n_max
+
+
+class ContinuityViolation(ReproError):
+    """A media block missed its playback deadline during simulation."""
+
+    def __init__(self, message: str, request_id: object = None,
+                 block_number: int = -1, lateness: float = 0.0):
+        super().__init__(message)
+        self.request_id = request_id
+        self.block_number = block_number
+        self.lateness = lateness
+
+
+# ---------------------------------------------------------------------------
+# Disk substrate errors
+# ---------------------------------------------------------------------------
+
+class DiskError(ReproError):
+    """Base class for simulated-disk failures."""
+
+
+class DiskFullError(DiskError):
+    """No free space satisfies the request at all."""
+
+
+class AllocationError(DiskError):
+    """Free space exists but cannot satisfy the placement constraints."""
+
+
+class ScatteringError(AllocationError):
+    """No placement satisfies the scattering bounds [l_lower, l_upper]."""
+
+
+class AddressError(DiskError, ValueError):
+    """A sector/cylinder address is outside the disk geometry."""
+
+
+# ---------------------------------------------------------------------------
+# Storage-manager (MSM) errors
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for Multimedia Storage Manager failures."""
+
+
+class StrandError(StorageError):
+    """Base class for strand-level failures."""
+
+
+class StrandImmutableError(StrandError):
+    """An attempt was made to mutate a finalized (immutable) strand."""
+
+
+class UnknownStrandError(StrandError, KeyError):
+    """The referenced strand ID does not exist (or was garbage collected)."""
+
+
+class IndexCorruptionError(StrandError):
+    """The 3-level block index failed an internal consistency check."""
+
+
+# ---------------------------------------------------------------------------
+# Rope-server (MRS) errors
+# ---------------------------------------------------------------------------
+
+class RopeError(ReproError):
+    """Base class for Multimedia Rope Server failures."""
+
+
+class UnknownRopeError(RopeError, KeyError):
+    """The referenced rope ID does not exist."""
+
+
+class IntervalError(RopeError, ValueError):
+    """An edit interval is empty, inverted, or outside the rope's extent."""
+
+
+class AccessDenied(RopeError, PermissionError):
+    """The user lacks Play or Edit access to the rope."""
+
+
+# ---------------------------------------------------------------------------
+# Request lifecycle errors
+# ---------------------------------------------------------------------------
+
+class RequestError(ReproError):
+    """Base class for PLAY/RECORD request-lifecycle failures."""
+
+
+class UnknownRequestError(RequestError, KeyError):
+    """The referenced request ID does not exist."""
+
+
+class RequestStateError(RequestError):
+    """The operation is invalid in the request's current state.
+
+    For example RESUME on a request that was never paused, or STOP on a
+    request that already completed.
+    """
+
+
+class GarbageCollectionError(StorageError):
+    """An interest (reference-count) invariant was violated."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation errors
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency (time reversal,
+    deadlocked processes, event scheduled in the past)."""

@@ -1,0 +1,121 @@
+"""Garbage collection of unreferenced strands via *interests* (§4).
+
+"A media strand, no part of which is referred to by any rope, can be
+deleted to reclaim its storage space.  A garbage collection algorithm such
+as the one presented by Terry and Swinehart in the Etherphone system,
+which uses a reference count mechanism called interests, can be used for
+this purpose."
+
+:class:`InterestRegistry` records which ropes hold an interest in which
+strands; :class:`GarbageCollector` sweeps strands whose interest set is
+empty.  Interests are per (rope, strand) pair — a rope referencing three
+intervals of one strand holds a single interest in it, dropped only when
+the rope stops referencing the strand entirely (or is deleted).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Set
+
+from repro.errors import GarbageCollectionError
+
+__all__ = ["InterestRegistry", "GarbageCollector"]
+
+
+class InterestRegistry:
+    """Reference counts ("interests") from ropes to strands."""
+
+    def __init__(self) -> None:
+        self._by_strand: Dict[str, Set[str]] = {}
+        self._by_rope: Dict[str, Set[str]] = {}
+
+    def register(self, rope_id: str, strand_id: str) -> None:
+        """Record that *rope_id* references *strand_id* (idempotent)."""
+        self._by_strand.setdefault(strand_id, set()).add(rope_id)
+        self._by_rope.setdefault(rope_id, set()).add(strand_id)
+
+    def drop(self, rope_id: str, strand_id: str) -> None:
+        """Remove one rope→strand interest."""
+        holders = self._by_strand.get(strand_id)
+        if holders is None or rope_id not in holders:
+            raise GarbageCollectionError(
+                f"rope {rope_id!r} holds no interest in strand {strand_id!r}"
+            )
+        holders.discard(rope_id)
+        if not holders:
+            del self._by_strand[strand_id]
+        referenced = self._by_rope.get(rope_id, set())
+        referenced.discard(strand_id)
+        if not referenced and rope_id in self._by_rope:
+            del self._by_rope[rope_id]
+
+    def drop_rope(self, rope_id: str) -> List[str]:
+        """Drop every interest held by *rope_id*; returns affected strands."""
+        strands = sorted(self._by_rope.get(rope_id, set()))
+        for strand_id in strands:
+            self.drop(rope_id, strand_id)
+        return strands
+
+    def sync_rope(self, rope_id: str, referenced: Iterable[str]) -> None:
+        """Make *rope_id*'s interests exactly match *referenced*.
+
+        Called after every editing operation: interests are added for
+        newly referenced strands and dropped for strands the edited rope
+        no longer mentions.
+        """
+        target = set(referenced)
+        current = set(self._by_rope.get(rope_id, set()))
+        for strand_id in target - current:
+            self.register(rope_id, strand_id)
+        for strand_id in current - target:
+            self.drop(rope_id, strand_id)
+
+    def interest_count(self, strand_id: str) -> int:
+        """Number of ropes referencing a strand."""
+        return len(self._by_strand.get(strand_id, ()))
+
+    def is_referenced(self, strand_id: str) -> bool:
+        """True when at least one rope references the strand."""
+        return self.interest_count(strand_id) > 0
+
+    def holders(self, strand_id: str) -> Set[str]:
+        """Ropes currently referencing a strand."""
+        return set(self._by_strand.get(strand_id, set()))
+
+    def strands_of(self, rope_id: str) -> Set[str]:
+        """Strands a rope currently references."""
+        return set(self._by_rope.get(rope_id, set()))
+
+
+class GarbageCollector:
+    """Sweeps unreferenced strands out of the storage manager.
+
+    Parameters
+    ----------
+    registry:
+        The interest registry consulted for liveness.
+    delete_strand:
+        Callback that actually reclaims a strand's disk space (the
+        storage manager's ``delete_strand``).
+    """
+
+    def __init__(
+        self,
+        registry: InterestRegistry,
+        delete_strand: Callable[[str], None],
+    ):
+        self.registry = registry
+        self._delete_strand = delete_strand
+        self.collected_total = 0
+
+    def collect(self, known_strands: Iterable[str]) -> List[str]:
+        """Delete every known strand with no interests; returns their IDs."""
+        victims = [
+            strand_id
+            for strand_id in known_strands
+            if not self.registry.is_referenced(strand_id)
+        ]
+        for strand_id in victims:
+            self._delete_strand(strand_id)
+        self.collected_total += len(victims)
+        return victims

@@ -1,0 +1,358 @@
+"""The 3-level strand block index (§3.5, Figs. 5 and 6).
+
+"For each strand, the file system maintains primary indices in a sequence
+of Primary Blocks (PB), each of which contains mapping from media block
+numbers to their raw disk addresses.  Secondary indices, which are
+pointers to Primary Blocks, are maintained in a sequence of Secondary
+Blocks (SB).  Pointers to all Secondary Blocks of a strand are stored in
+the Header Block (HB)."
+
+The structure "permits large strand sizes, and random as well as
+concurrent access to strands": because a strand is immutable, its primary
+blocks fill uniformly, and block number → (SB, PB, entry) resolves with
+two divisions — no tree walk.
+
+"We use NULL pointers in the primary blocks of a strand to indicate
+silence for the duration of a block" — a primary entry of ``None`` is a
+silence delay holder; lookups return it as such and the playback path
+synthesizes silence without any disk access.
+
+Entry sizes follow Fig. 6's field lists (four-byte fields): a primary
+entry is 2 fields (sector, sectorCount) = 64 bits; a secondary entry is 4
+fields = 128 bits; fan-outs derive from the disk block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.errors import IndexCorruptionError, ParameterError
+
+__all__ = [
+    "PRIMARY_ENTRY_BITS",
+    "SECONDARY_ENTRY_BITS",
+    "fanout_for",
+    "PrimaryEntry",
+    "PrimaryBlock",
+    "SecondaryEntry",
+    "SecondaryBlock",
+    "HeaderBlock",
+    "StrandIndex",
+]
+
+#: Bits per primary-index entry: sector + sectorCount (Fig. 6).
+PRIMARY_ENTRY_BITS = 64
+#: Bits per secondary-index entry: startBlock + BlockCount + sector +
+#: sectorCount (Fig. 6).
+SECONDARY_ENTRY_BITS = 128
+
+
+def fanout_for(block_bits: float, entry_bits: int) -> int:
+    """Entries that fit in one index block of *block_bits*."""
+    if block_bits <= 0:
+        raise ParameterError(f"block_bits must be positive, got {block_bits}")
+    if entry_bits <= 0:
+        raise ParameterError(f"entry_bits must be positive, got {entry_bits}")
+    fanout = int(block_bits // entry_bits)
+    if fanout < 1:
+        raise ParameterError(
+            f"index block of {block_bits} bits cannot hold a "
+            f"{entry_bits}-bit entry"
+        )
+    return fanout
+
+
+@dataclass(frozen=True)
+class PrimaryEntry:
+    """One media block's raw disk address: position + length (Fig. 6)."""
+
+    sector: int
+    sector_count: int
+
+    def __post_init__(self) -> None:
+        if self.sector < 0:
+            raise ParameterError(f"sector must be >= 0, got {self.sector}")
+        if self.sector_count < 1:
+            raise ParameterError(
+                f"sector_count must be >= 1, got {self.sector_count}"
+            )
+
+
+@dataclass
+class PrimaryBlock:
+    """A sequence of media-block addresses (None = silence holder)."""
+
+    capacity: int
+    entries: List[Optional[PrimaryEntry]] = field(default_factory=list)
+    #: Disk slot holding this PB once assigned (None while in memory only).
+    slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ParameterError(
+                f"capacity must be >= 1, got {self.capacity}"
+            )
+
+    @property
+    def is_full(self) -> bool:
+        """True when no more entries fit."""
+        return len(self.entries) >= self.capacity
+
+    def append(self, entry: Optional[PrimaryEntry]) -> None:
+        """Add a media-block address (or a NULL silence holder)."""
+        if self.is_full:
+            raise IndexCorruptionError(
+                f"primary block overfilled past capacity {self.capacity}"
+            )
+        self.entries.append(entry)
+
+
+@dataclass(frozen=True)
+class SecondaryEntry:
+    """Pointer to one primary block (Fig. 6)."""
+
+    start_block: int
+    block_count: int
+    sector: int
+    sector_count: int
+
+
+@dataclass
+class SecondaryBlock:
+    """A sequence of pointers to primary blocks."""
+
+    capacity: int
+    entries: List[SecondaryEntry] = field(default_factory=list)
+    slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ParameterError(
+                f"capacity must be >= 1, got {self.capacity}"
+            )
+
+    @property
+    def is_full(self) -> bool:
+        """True when no more entries fit."""
+        return len(self.entries) >= self.capacity
+
+
+@dataclass
+class HeaderBlock:
+    """Strand header: rate, counts, and the secondary-block array (Fig. 6)."""
+
+    frame_rate: float
+    frame_count: int = 0
+    secondary_slots: List[Optional[int]] = field(default_factory=list)
+    slot: Optional[int] = None
+
+    @property
+    def secondary_count(self) -> int:
+        """Number of secondary blocks in the strand."""
+        return len(self.secondary_slots)
+
+
+class StrandIndex:
+    """The assembled 3-level index of one strand.
+
+    Parameters
+    ----------
+    frame_rate:
+        Recording rate stored in the header block.
+    primary_fanout / secondary_fanout:
+        Entries per PB / SB, normally from :func:`fanout_for`.
+    """
+
+    def __init__(
+        self,
+        frame_rate: float,
+        primary_fanout: int,
+        secondary_fanout: int,
+    ):
+        if frame_rate <= 0:
+            raise ParameterError(
+                f"frame_rate must be positive, got {frame_rate}"
+            )
+        if primary_fanout < 1 or secondary_fanout < 1:
+            raise ParameterError(
+                "fan-outs must be >= 1, got "
+                f"{primary_fanout}/{secondary_fanout}"
+            )
+        self.primary_fanout = primary_fanout
+        self.secondary_fanout = secondary_fanout
+        self.header = HeaderBlock(frame_rate=frame_rate)
+        self.primaries: List[PrimaryBlock] = []
+        self.secondaries: List[SecondaryBlock] = []
+
+    # -- construction --------------------------------------------------------
+
+    def append(
+        self, entry: Optional[PrimaryEntry], units: int = 0
+    ) -> int:
+        """Record the next media block's address; returns its block number.
+
+        ``entry=None`` appends a silence delay holder.  *units* (frames or
+        samples represented by the block — for silence, the samples the
+        silent period covers) accumulates into the header's frame count.
+        """
+        if units < 0:
+            raise ParameterError(f"units must be >= 0, got {units}")
+        if not self.primaries or self.primaries[-1].is_full:
+            self._add_primary()
+        block_number = self.block_count
+        self.primaries[-1].append(entry)
+        self._current_secondary_entry_grow()
+        self.header.frame_count += units
+        return block_number
+
+    def _add_primary(self) -> None:
+        if not self.secondaries or self.secondaries[-1].is_full:
+            self.secondaries.append(SecondaryBlock(self.secondary_fanout))
+            self.header.secondary_slots.append(None)
+        self.primaries.append(PrimaryBlock(self.primary_fanout))
+        start = (len(self.primaries) - 1) * self.primary_fanout
+        self.secondaries[-1].entries.append(
+            SecondaryEntry(
+                start_block=start, block_count=0, sector=-1, sector_count=0
+            )
+        )
+
+    def _current_secondary_entry_grow(self) -> None:
+        secondary = self.secondaries[-1]
+        last = secondary.entries[-1]
+        secondary.entries[-1] = SecondaryEntry(
+            start_block=last.start_block,
+            block_count=last.block_count + 1,
+            sector=last.sector,
+            sector_count=last.sector_count,
+        )
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def block_count(self) -> int:
+        """Media blocks (including silence holders) indexed so far."""
+        if not self.primaries:
+            return 0
+        return (
+            (len(self.primaries) - 1) * self.primary_fanout
+            + len(self.primaries[-1].entries)
+        )
+
+    def lookup(self, block_number: int) -> Optional[PrimaryEntry]:
+        """Resolve a media block number to its disk address (None=silence).
+
+        Constant-time: immutable strands fill their primary blocks
+        uniformly, so the position is pure arithmetic.
+        """
+        if not 0 <= block_number < self.block_count:
+            raise ParameterError(
+                f"block {block_number} outside strand "
+                f"(0..{self.block_count - 1})"
+            )
+        primary_index, offset = divmod(block_number, self.primary_fanout)
+        return self.primaries[primary_index].entries[offset]
+
+    def update(
+        self, block_number: int, entry: Optional[PrimaryEntry]
+    ) -> None:
+        """Rewrite one media block's address (physical migration).
+
+        Used by storage reorganization (§6.2): the *logical* strand is
+        immutable, but its blocks may be moved on disk, which rewrites
+        the corresponding primary entry in place.
+        """
+        if not 0 <= block_number < self.block_count:
+            raise ParameterError(
+                f"block {block_number} outside strand "
+                f"(0..{self.block_count - 1})"
+            )
+        primary_index, offset = divmod(block_number, self.primary_fanout)
+        self.primaries[primary_index].entries[offset] = entry
+
+    def __iter__(self) -> Iterator[Optional[PrimaryEntry]]:
+        for primary in self.primaries:
+            yield from primary.entries
+
+    # -- disk residence ----------------------------------------------------------
+
+    def index_block_count(self) -> int:
+        """Disk blocks the index itself occupies (HB + SBs + PBs)."""
+        return 1 + len(self.secondaries) + len(self.primaries)
+
+    def assign_slots(self, slots: List[int]) -> None:
+        """Bind the header, secondary, and primary blocks to disk slots.
+
+        *slots* must contain exactly :meth:`index_block_count` entries, in
+        HB, SB..., PB... order.
+        """
+        needed = self.index_block_count()
+        if len(slots) != needed:
+            raise ParameterError(
+                f"index needs {needed} slots, got {len(slots)}"
+            )
+        cursor = iter(slots)
+        self.header.slot = next(cursor)
+        for position, secondary in enumerate(self.secondaries):
+            secondary.slot = next(cursor)
+            self.header.secondary_slots[position] = secondary.slot
+        for primary in self.primaries:
+            primary.slot = next(cursor)
+        # Back-fill PB addresses into the secondary entries.
+        for secondary in self.secondaries:
+            for position, entry in enumerate(secondary.entries):
+                primary = self.primaries[entry.start_block // self.primary_fanout]
+                secondary.entries[position] = SecondaryEntry(
+                    start_block=entry.start_block,
+                    block_count=entry.block_count,
+                    sector=primary.slot if primary.slot is not None else -1,
+                    sector_count=1,
+                )
+
+    def assigned_slots(self) -> List[int]:
+        """All disk slots the index occupies (for deletion)."""
+        slots: List[int] = []
+        if self.header.slot is not None:
+            slots.append(self.header.slot)
+        for secondary in self.secondaries:
+            if secondary.slot is not None:
+                slots.append(secondary.slot)
+        for primary in self.primaries:
+            if primary.slot is not None:
+                slots.append(primary.slot)
+        return slots
+
+    # -- verification -----------------------------------------------------------
+
+    def verify(self) -> None:
+        """Check internal consistency; raises IndexCorruptionError."""
+        if len(self.header.secondary_slots) != len(self.secondaries):
+            raise IndexCorruptionError(
+                "header secondary array length "
+                f"{len(self.header.secondary_slots)} != secondary block "
+                f"count {len(self.secondaries)}"
+            )
+        covered = 0
+        for number, secondary in enumerate(self.secondaries):
+            if not secondary.entries:
+                raise IndexCorruptionError(f"secondary block {number} is empty")
+            for entry in secondary.entries:
+                if entry.start_block != covered:
+                    raise IndexCorruptionError(
+                        f"secondary entry starts at block {entry.start_block}"
+                        f", expected {covered}"
+                    )
+                covered += entry.block_count
+        if covered != self.block_count:
+            raise IndexCorruptionError(
+                f"secondary entries cover {covered} blocks, index holds "
+                f"{self.block_count}"
+            )
+        for number, primary in enumerate(self.primaries[:-1]):
+            if len(primary.entries) != self.primary_fanout:
+                raise IndexCorruptionError(
+                    f"interior primary block {number} holds "
+                    f"{len(primary.entries)} entries, expected a full "
+                    f"{self.primary_fanout}"
+                )

@@ -1,0 +1,159 @@
+"""Storage reorganization for densely utilized disks (§6.2 future work).
+
+"Constrained scattering of blocks of a media strand can be difficult to
+achieve when the disk is densely utilized.  When it becomes impossible to
+place new media strands in such a way that their scattering bounds are
+satisfied, the storage of existing media strands on the disk may have to
+be reorganized.  Towards this end, we are investigating mechanisms for
+merging multiple media strands so as to optimize storage utilization."
+
+:class:`Reorganizer` implements that mechanism: when a trial placement
+fails, existing strands are migrated one at a time into fresh, compact
+constrained placements (sweeping from the low end of the disk), which
+coalesces the scattered free slots into a contiguous high region where
+new strands fit again.  Migration moves *physical* blocks only — the
+strand's logical content (its immutable frame/sample sequence) is
+untouched, and its 3-level index is rewritten to the new addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.disk.allocation import ConstrainedScatterAllocator, ScatterBounds
+from repro.errors import (
+    AllocationError,
+    DiskFullError,
+    ScatteringError,
+)
+from repro.fs.storage_manager import MultimediaStorageManager
+from repro.fs.strand import Strand
+
+__all__ = ["ReorganizationReport", "Reorganizer"]
+
+
+@dataclass(frozen=True)
+class ReorganizationReport:
+    """Outcome of a make-room pass."""
+
+    success: bool
+    strands_migrated: int
+    blocks_moved: int
+    trial_blocks: int
+
+    @property
+    def moved_anything(self) -> bool:
+        """True when at least one block changed position."""
+        return self.blocks_moved > 0
+
+
+class Reorganizer:
+    """Migrates strands to restore scattering-feasible free space."""
+
+    def __init__(self, msm: MultimediaStorageManager):
+        self.msm = msm
+
+    # -- feasibility probing -----------------------------------------------------
+
+    def placement_feasible(
+        self, block_count: int, bounds: Optional[ScatterBounds] = None
+    ) -> bool:
+        """Can a *block_count*-block strand be placed right now?
+
+        Runs a trial allocation against the live free map and rolls it
+        back; nothing is stored.
+        """
+        if bounds is None:
+            policy = self.msm.policies.video
+            bounds = ScatterBounds(
+                policy.scattering_lower, policy.scattering_upper
+            )
+        allocator = ConstrainedScatterAllocator(
+            self.msm.drive, self.msm.freemap, bounds
+        )
+        try:
+            slots = allocator.allocate_strand(block_count)
+        except (ScatteringError, AllocationError, DiskFullError):
+            return False
+        allocator.release(slots)
+        return True
+
+    # -- migration -----------------------------------------------------------------
+
+    def _migrate_strand(self, strand: Strand, hint: int) -> int:
+        """Re-place all of *strand*'s blocks compactly from *hint*.
+
+        Returns the number of blocks moved.  The old slots are released
+        only after the new placement fully succeeds, so a failed
+        migration leaves the strand untouched.
+        """
+        bounds = ScatterBounds(
+            strand.scattering_lower, strand.scattering_upper
+        )
+        old_slots = strand.slots()
+        if not old_slots:
+            return 0
+        # Release first so the allocator can reuse this strand's own
+        # region; on failure, re-claim the exact old slots.
+        for slot in old_slots:
+            self.msm.freemap.release(slot)
+        allocator = ConstrainedScatterAllocator(
+            self.msm.drive, self.msm.freemap, bounds
+        )
+        try:
+            new_slots = allocator.allocate_strand(len(old_slots), hint)
+        except (ScatteringError, AllocationError, DiskFullError):
+            for slot in old_slots:
+                self.msm.freemap.allocate(slot)
+            return 0
+        moved = 0
+        cursor = iter(new_slots)
+        for number in range(strand.block_count):
+            if strand.slot_of(number) is None:
+                continue
+            new_slot = next(cursor)
+            if strand.slot_of(number) != new_slot:
+                moved += 1
+            strand.relocate_block(number, new_slot)
+        return moved
+
+    def make_room(
+        self,
+        block_count: int,
+        bounds: Optional[ScatterBounds] = None,
+    ) -> ReorganizationReport:
+        """Reorganize until a *block_count*-block placement fits.
+
+        Strands are migrated in ID order, each packed immediately after
+        the previous one from the low end of the disk; after each
+        migration the trial placement is retried.  Index blocks are not
+        moved (they have no real-time constraint).
+        """
+        if self.placement_feasible(block_count, bounds):
+            return ReorganizationReport(
+                success=True, strands_migrated=0, blocks_moved=0,
+                trial_blocks=block_count,
+            )
+        migrated = 0
+        moved = 0
+        hint = 0
+        for strand_id in self.msm.strand_ids():
+            strand = self.msm.get_strand(strand_id)
+            moved_here = self._migrate_strand(strand, hint)
+            if strand.slots():
+                hint = max(strand.slots()) + 1
+            if moved_here:
+                migrated += 1
+                moved += moved_here
+            if self.placement_feasible(block_count, bounds):
+                return ReorganizationReport(
+                    success=True, strands_migrated=migrated,
+                    blocks_moved=moved, trial_blocks=block_count,
+                )
+        return ReorganizationReport(
+            success=self.placement_feasible(block_count, bounds),
+            strands_migrated=migrated,
+            blocks_moved=moved,
+            trial_blocks=block_count,
+        )

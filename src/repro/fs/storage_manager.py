@@ -1,0 +1,509 @@
+"""The Multimedia Storage Manager (MSM) — §5.2's lower layer.
+
+"This layer is responsible for physical storage of media strands on the
+disk.  The functionality of the MSM include: determination of granularity
+and scattering of strands, enforcing admission control to service multiple
+requests simultaneously, and maintenance of scattering while editing."
+
+The MSM owns the drive, the free map, the per-medium placement policies
+(derived from the continuity analysis of §3), the strand table, and the
+interest registry used for garbage collection.  Strand storage here is
+*logical* — blocks are placed and indexed but no simulated time is
+charged; the real-time behaviour is exercised by :mod:`repro.service`,
+which replays stored placements through the same drive with timing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import admission
+from repro.core.continuity import Architecture, max_scattering_mixed
+from repro.core.granularity import (
+    PlacementPolicy,
+    derive_policy,
+    max_granularity,
+    scattering_lower_bound,
+)
+from repro.core.symbols import (
+    AudioStream,
+    DisplayDeviceParameters,
+    VideoStream,
+    audio_block_model,
+    video_block_model,
+)
+from repro.disk.allocation import ConstrainedScatterAllocator, ScatterBounds
+from repro.disk.drive import SimulatedDrive
+from repro.disk.freemap import FreeMap
+from repro.disk.layout import GapFiller
+from repro.errors import ParameterError, UnknownStrandError
+from repro.fs.blocks import AudioPayload, BlockKind, MediaBlock
+from repro.fs.gc import GarbageCollector, InterestRegistry
+from repro.fs.index import (
+    PRIMARY_ENTRY_BITS,
+    SECONDARY_ENTRY_BITS,
+    StrandIndex,
+    fanout_for,
+)
+from repro.fs.silence import plan_audio_blocks
+from repro.fs.strand import Strand
+from repro.media.audio import AudioChunk, SilenceDetector
+from repro.media.frames import Frame
+
+__all__ = ["MediaPolicies", "MultimediaStorageManager"]
+
+
+@dataclass(frozen=True)
+class MediaPolicies:
+    """Derived placement policies, one per stored medium."""
+
+    video: PlacementPolicy
+    audio: PlacementPolicy
+    mixed: PlacementPolicy
+
+
+def _clamp_granularity(eta: int, unit_size: float, slot_bits: float) -> int:
+    """Keep η·s within one block slot (all slots are one fixed size)."""
+    capacity = int(slot_bits // unit_size)
+    if capacity < 1:
+        raise ParameterError(
+            f"a {slot_bits}-bit slot cannot hold one {unit_size}-bit unit"
+        )
+    return max(1, min(eta, capacity))
+
+
+class MultimediaStorageManager:
+    """Strand storage over one simulated drive.
+
+    Parameters
+    ----------
+    drive:
+        The mechanism strands are placed on.
+    video / audio:
+        The stream formats this server stores.
+    video_device / audio_device:
+        Display-device parameters — their buffer sizes determine
+        granularity (§3.3.4).
+    architecture:
+        Retrieval architecture the policies are derived for.
+    copy_budget:
+        §4.2 editing-copy budget, setting the scattering lower bound.
+    general_admission:
+        When True, use the per-request-k controller
+        (:class:`repro.core.general_admission.GeneralAdmissionController`,
+        the Eq.-11 general form) instead of the paper's uniform-k
+        algorithm — admits mixed audio+video populations the averaged
+        model rejects.
+    """
+
+    def __init__(
+        self,
+        drive: SimulatedDrive,
+        video: VideoStream,
+        audio: AudioStream,
+        video_device: DisplayDeviceParameters,
+        audio_device: DisplayDeviceParameters,
+        architecture: Architecture = Architecture.PIPELINED,
+        copy_budget: int = 4,
+        freemap: Optional[FreeMap] = None,
+        general_admission: bool = False,
+    ):
+        self.drive = drive
+        self.freemap = freemap if freemap is not None else FreeMap(drive.slots)
+        self.video = video
+        self.audio = audio
+        self.video_device = video_device
+        self.audio_device = audio_device
+        self.architecture = architecture
+        self.copy_budget = copy_budget
+        self.disk_params = drive.parameters()
+        self.policies = self._derive_policies()
+        if general_admission:
+            from repro.core.general_admission import (
+                GeneralAdmissionController,
+            )
+
+            self.admission = GeneralAdmissionController(self.disk_params)
+        else:
+            self.admission = admission.AdmissionController(self.disk_params)
+        self.interests = InterestRegistry()
+        self.collector = GarbageCollector(self.interests, self.delete_strand)
+        self._strands: Dict[str, Strand] = {}
+        self._ids = itertools.count(1)
+        self._gap_filler = GapFiller(self.freemap)
+
+    # -- policy derivation -----------------------------------------------------
+
+    def _derive_policies(self) -> MediaPolicies:
+        slot_bits = self.drive.block_bits
+        video_eta = _clamp_granularity(
+            max_granularity(self.architecture, self.video_device),
+            self.video.frame_size,
+            slot_bits,
+        )
+        video_policy = derive_policy(
+            video_block_model(self.video, video_eta),
+            self.disk_params,
+            self.video_device,
+            architecture=self.architecture,
+            copy_budget=self.copy_budget,
+            granularity=video_eta,
+        )
+        audio_eta = _clamp_granularity(
+            max_granularity(self.architecture, self.audio_device),
+            self.audio.sample_size,
+            slot_bits,
+        )
+        audio_policy = derive_policy(
+            audio_block_model(self.audio, audio_eta),
+            self.disk_params,
+            self.audio_device,
+            architecture=self.architecture,
+            copy_budget=self.copy_budget,
+            granularity=audio_eta,
+        )
+        # Heterogeneous blocks: video granularity, with the corresponding
+        # audio payload sharing the block; the §3.3.3 Eq.-(6) bound governs.
+        audio_per_video_block = max(
+            1,
+            int(
+                self.audio.sample_rate
+                * video_eta
+                / self.video.frame_rate
+            ),
+        )
+        mixed_eta = _clamp_granularity(
+            video_eta,
+            self.video.frame_size
+            + audio_per_video_block
+            * self.audio.sample_size
+            / max(1, video_eta),
+            slot_bits,
+        )
+        mixed_upper = max_scattering_mixed(
+            video_block_model(self.video, mixed_eta),
+            audio_block_model(self.audio, audio_per_video_block),
+            self.disk_params,
+            heterogeneous=True,
+        )
+        mixed_policy = PlacementPolicy(
+            granularity=mixed_eta,
+            block_bits=mixed_eta * self.video.frame_size
+            + audio_per_video_block * self.audio.sample_size,
+            scattering_lower=scattering_lower_bound(
+                self.disk_params, self.copy_budget
+            ),
+            scattering_upper=mixed_upper,
+            architecture=self.architecture,
+        )
+        return MediaPolicies(
+            video=video_policy, audio=audio_policy, mixed=mixed_policy
+        )
+
+    def policy_for(self, kind: BlockKind) -> PlacementPolicy:
+        """The placement policy governing a block kind."""
+        if kind is BlockKind.VIDEO:
+            return self.policies.video
+        if kind is BlockKind.AUDIO:
+            return self.policies.audio
+        if kind is BlockKind.MIXED:
+            return self.policies.mixed
+        raise ParameterError(f"no placement policy for {kind}")
+
+    def _allocator_for(self, policy: PlacementPolicy) -> ConstrainedScatterAllocator:
+        return ConstrainedScatterAllocator(
+            self.drive,
+            self.freemap,
+            ScatterBounds(policy.scattering_lower, policy.scattering_upper),
+        )
+
+    # -- strand bookkeeping ------------------------------------------------------
+
+    def _new_strand_id(self) -> str:
+        return f"S{next(self._ids):04d}"
+
+    def _new_index(self, unit_rate: float) -> StrandIndex:
+        slot_bits = self.drive.block_bits
+        return StrandIndex(
+            frame_rate=unit_rate,
+            primary_fanout=fanout_for(slot_bits, PRIMARY_ENTRY_BITS),
+            secondary_fanout=fanout_for(slot_bits, SECONDARY_ENTRY_BITS),
+        )
+
+    def _register(self, strand: Strand) -> Strand:
+        strand.index.assign_slots(
+            self._gap_filler.place(strand.index.index_block_count())
+        )
+        strand.finalize()
+        self._strands[strand.strand_id] = strand
+        return strand
+
+    def get_strand(self, strand_id: str) -> Strand:
+        """Look up a strand; raises :class:`UnknownStrandError`."""
+        try:
+            return self._strands[strand_id]
+        except KeyError:
+            raise UnknownStrandError(strand_id) from None
+
+    def strand_ids(self) -> List[str]:
+        """All stored strand IDs, sorted."""
+        return sorted(self._strands)
+
+    @property
+    def occupancy(self) -> float:
+        """Disk-occupancy fraction (drives the §4.2 sparse/dense regime)."""
+        return self.freemap.occupancy
+
+    # -- recording (batch interfaces) ---------------------------------------------
+
+    def store_video_strand(
+        self,
+        frames: Sequence[Frame],
+        hint: Optional[int] = None,
+    ) -> Strand:
+        """Store a video frame sequence as a new strand."""
+        if not frames:
+            raise ParameterError("cannot store an empty video strand")
+        policy = self.policies.video
+        allocator = self._allocator_for(policy)
+        index = self._new_index(self.video.frame_rate)
+        strand = Strand(
+            strand_id=self._new_strand_id(),
+            kind=BlockKind.VIDEO,
+            unit_rate=self.video.frame_rate,
+            granularity=policy.granularity,
+            sectors_per_block=self.drive.sectors_per_block,
+            index=index,
+            scattering_lower=policy.scattering_lower,
+            scattering_upper=policy.scattering_upper,
+        )
+        previous: Optional[int] = None
+        eta = policy.granularity
+        for start in range(0, len(frames), eta):
+            group = frames[start:start + eta]
+            block = MediaBlock(
+                kind=BlockKind.VIDEO,
+                video_tokens=tuple(frame.token for frame in group),
+                video_bits=sum(frame.size_bits for frame in group),
+            )
+            if previous is None:
+                slot = allocator.allocate_first(hint)
+            else:
+                slot = allocator.allocate_after(previous)
+            strand.append_block(block, slot)
+            previous = slot
+        return self._register(strand)
+
+    def store_audio_strand(
+        self,
+        chunks: Sequence[AudioChunk],
+        detector: Optional[SilenceDetector] = SilenceDetector(),
+        hint: Optional[int] = None,
+    ) -> Strand:
+        """Store a chunked audio stream, applying silence elimination.
+
+        Pass ``detector=None`` to store every block (the E10 baseline).
+        """
+        if not chunks:
+            raise ParameterError("cannot store an empty audio strand")
+        policy = self.policies.audio
+        plan = plan_audio_blocks(
+            self.audio, chunks, policy.granularity, detector
+        )
+        allocator = self._allocator_for(policy)
+        strand = Strand(
+            strand_id=self._new_strand_id(),
+            kind=BlockKind.AUDIO,
+            unit_rate=self.audio.sample_rate,
+            granularity=policy.granularity,
+            sectors_per_block=self.drive.sectors_per_block,
+            index=self._new_index(self.audio.sample_rate),
+            scattering_lower=policy.scattering_lower,
+            scattering_upper=policy.scattering_upper,
+        )
+        previous: Optional[int] = None
+        for number, payload in enumerate(plan.payloads):
+            if payload is None:
+                strand.append_silence(plan.samples_in_block(number))
+                continue
+            block = MediaBlock(kind=BlockKind.AUDIO, audio=payload)
+            if previous is None:
+                slot = allocator.allocate_first(hint)
+            else:
+                slot = allocator.allocate_after(previous)
+            strand.append_block(block, slot)
+            previous = slot
+        return self._register(strand)
+
+    def store_mixed_strand(
+        self,
+        frames: Sequence[Frame],
+        chunks: Sequence[AudioChunk],
+        hint: Optional[int] = None,
+    ) -> Strand:
+        """Store video + audio together in heterogeneous blocks (§3.3.3).
+
+        Each block holds η_vs frames plus the audio samples spanning the
+        same playback period, giving "implicit inter-media
+        synchronization".
+        """
+        if not frames or not chunks:
+            raise ParameterError("a mixed strand needs both media")
+        policy = self.policies.mixed
+        allocator = self._allocator_for(policy)
+        strand = Strand(
+            strand_id=self._new_strand_id(),
+            kind=BlockKind.MIXED,
+            unit_rate=self.video.frame_rate,
+            granularity=policy.granularity,
+            sectors_per_block=self.drive.sectors_per_block,
+            index=self._new_index(self.video.frame_rate),
+            scattering_lower=policy.scattering_lower,
+            scattering_upper=policy.scattering_upper,
+        )
+        eta = policy.granularity
+        total_samples = chunks[-1].end_sample
+        samples_per_block = int(
+            self.audio.sample_rate * eta / self.video.frame_rate
+        )
+        previous: Optional[int] = None
+        block_number = 0
+        for start in range(0, len(frames), eta):
+            group = frames[start:start + eta]
+            sample_start = block_number * samples_per_block
+            sample_count = max(
+                1, min(samples_per_block, total_samples - sample_start)
+            )
+            audio_payload = AudioPayload(
+                start_sample=sample_start,
+                sample_count=sample_count,
+                average_energy=0.5,
+                bits=sample_count * self.audio.sample_size,
+            )
+            block = MediaBlock(
+                kind=BlockKind.MIXED,
+                video_tokens=tuple(frame.token for frame in group),
+                video_bits=sum(frame.size_bits for frame in group),
+                audio=audio_payload,
+            )
+            if previous is None:
+                slot = allocator.allocate_first(hint)
+            else:
+                slot = allocator.allocate_after(previous)
+            strand.append_block(block, slot)
+            previous = slot
+            block_number += 1
+        return self._register(strand)
+
+    # -- editing support (§4.2) ---------------------------------------------------
+
+    def copy_blocks_near(
+        self,
+        source: Strand,
+        block_numbers: Sequence[int],
+        anchor_slot: int,
+    ) -> Strand:
+        """Copy blocks of *source* into a new strand placed after *anchor*.
+
+        This is the §4.2 redistribution primitive: the copied blocks are
+        reallocated with the source's own scattering bounds, starting from
+        the anchor block's neighbourhood, so the seam they patch satisfies
+        the bounds.  "copying creates a new strand containing only the
+        copied blocks because (1) strands are immutable, and (2) creating
+        a separate strand aids the process of garbage collection."
+        """
+        if not block_numbers:
+            raise ParameterError("no blocks to copy")
+        bounds = ScatterBounds(
+            source.scattering_lower, source.scattering_upper
+        )
+        allocator = ConstrainedScatterAllocator(
+            self.drive, self.freemap, bounds
+        )
+        strand = Strand(
+            strand_id=self._new_strand_id(),
+            kind=source.kind,
+            unit_rate=source.unit_rate,
+            granularity=source.granularity,
+            sectors_per_block=self.drive.sectors_per_block,
+            index=self._new_index(source.unit_rate),
+            scattering_lower=source.scattering_lower,
+            scattering_upper=source.scattering_upper,
+        )
+        previous = anchor_slot
+        for number in block_numbers:
+            content = source.block_at(number)
+            if content is None:
+                strand.append_silence(
+                    max(1, source.granularity)
+                )
+                continue
+            slot = allocator.allocate_after(previous)
+            strand.append_block(content, slot)
+            previous = slot
+        return self._register(strand)
+
+    def create_copied_strand(
+        self,
+        source: Strand,
+        block_numbers: Sequence[int],
+        slots: Sequence[int],
+    ) -> Strand:
+        """Copy specific blocks of *source* into caller-chosen free slots.
+
+        The §4.2 repairer computes redistribution positions itself
+        (equal spacing between the seam's anchors) and hands the exact
+        slots here; this method allocates them, copies the block contents,
+        and registers the result as a new immutable strand.
+        """
+        if len(block_numbers) != len(slots):
+            raise ParameterError(
+                f"{len(block_numbers)} blocks but {len(slots)} slots"
+            )
+        if not block_numbers:
+            raise ParameterError("no blocks to copy")
+        taken: List[int] = []
+        try:
+            for slot in slots:
+                self.freemap.allocate(slot)
+                taken.append(slot)
+        except Exception:
+            for slot in taken:
+                self.freemap.release(slot)
+            raise
+        strand = Strand(
+            strand_id=self._new_strand_id(),
+            kind=source.kind,
+            unit_rate=source.unit_rate,
+            granularity=source.granularity,
+            sectors_per_block=self.drive.sectors_per_block,
+            index=self._new_index(source.unit_rate),
+            scattering_lower=source.scattering_lower,
+            scattering_upper=source.scattering_upper,
+        )
+        for number, slot in zip(block_numbers, slots):
+            content = source.block_at(number)
+            if content is None:
+                raise ParameterError(
+                    f"block {number} of {source.strand_id} is a silence "
+                    "holder; copy stored blocks only"
+                )
+            strand.append_block(content, slot)
+        return self._register(strand)
+
+    # -- deletion -------------------------------------------------------------------
+
+    def delete_strand(self, strand_id: str) -> None:
+        """Reclaim a strand's media and index blocks."""
+        strand = self.get_strand(strand_id)
+        for slot in strand.slots():
+            self.freemap.release(slot)
+        for slot in strand.index.assigned_slots():
+            self.freemap.release(slot)
+        del self._strands[strand_id]
+
+    def collect_garbage(self) -> List[str]:
+        """Run the interest-based collector over all strands."""
+        return self.collector.collect(self.strand_ids())

@@ -1,0 +1,69 @@
+"""Simulated media devices: frames, audio, codecs, buffers, and clocks.
+
+This package replaces the prototype's UVC capture/compression hardware and
+audio digitizer (§5.1).  Media content is carried as sizes + opaque
+content tokens, which is all the storage analysis and the file-system
+round-trip tests require.
+"""
+
+from repro.media.audio import (
+    AudioChunk,
+    DEFAULT_SILENCE_THRESHOLD,
+    SILENCE_ENERGY,
+    SPEECH_ENERGY,
+    SilenceDetector,
+    chunks_to_blocks,
+    generate_talk_spurts,
+    silence_fraction,
+)
+from repro.media.clock import (
+    MediaClock,
+    continuous,
+    forced_display_times,
+    is_automatic,
+    lateness,
+    max_lateness,
+)
+from repro.media.codec import Codec, DifferencingCodec, FixedRateCodec
+from repro.media.devices import CaptureDevice, DeviceBuffer, DisplayDevice
+from repro.media.frames import (
+    Frame,
+    NTSC_BITS_PER_PIXEL,
+    NTSC_HEIGHT,
+    NTSC_WIDTH,
+    frames_for_duration,
+    generate_frames,
+    ntsc_raw_frame_bits,
+    raw_frame_bits,
+)
+
+__all__ = [
+    "AudioChunk",
+    "CaptureDevice",
+    "Codec",
+    "DEFAULT_SILENCE_THRESHOLD",
+    "DeviceBuffer",
+    "DifferencingCodec",
+    "DisplayDevice",
+    "FixedRateCodec",
+    "Frame",
+    "MediaClock",
+    "NTSC_BITS_PER_PIXEL",
+    "NTSC_HEIGHT",
+    "NTSC_WIDTH",
+    "SILENCE_ENERGY",
+    "SPEECH_ENERGY",
+    "SilenceDetector",
+    "chunks_to_blocks",
+    "continuous",
+    "forced_display_times",
+    "frames_for_duration",
+    "generate_frames",
+    "generate_talk_spurts",
+    "is_automatic",
+    "lateness",
+    "max_lateness",
+    "ntsc_raw_frame_bits",
+    "raw_frame_bits",
+    "silence_fraction",
+]

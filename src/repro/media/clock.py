@@ -1,0 +1,140 @@
+"""Media clocks and the two §3.2 synchronization techniques.
+
+Playback must proceed "at exactly the same rate as it was recorded".
+The paper names two ways to get there:
+
+* **Forced synchronization** — a clocking device makes the display wait
+  until each block's nominal deadline, at frame or block boundaries.
+  :class:`MediaClock` generates those deadlines and
+  :func:`forced_display_times` applies them to a sequence of arrival
+  times (clamping early arrivals to their deadline — the communication
+  overhead the paper mentions is modelled as an optional per-wait cost).
+
+* **Automatic synchronization** — if the effective access time per block
+  *equals* its playback duration, the pipeline paces itself and no clock
+  is needed.  :func:`is_automatic` tests that condition for a given
+  access time.
+
+The module also provides jitter metrics used by the continuity
+experiments: a playback is continuous exactly when no display time exceeds
+its deadline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "MediaClock",
+    "forced_display_times",
+    "is_automatic",
+    "lateness",
+    "max_lateness",
+    "continuous",
+]
+
+#: Relative tolerance for the automatic-synchronization equality test.
+_AUTO_SYNC_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class MediaClock:
+    """Deadline generator for block-boundary forced synchronization.
+
+    Parameters
+    ----------
+    start:
+        Playback start time (when block 0 should begin displaying), s.
+    period:
+        Playback duration of one block (η/R), s.
+    """
+
+    start: float
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ParameterError(f"period must be positive, got {self.period}")
+
+    def deadline(self, block_number: int) -> float:
+        """Nominal display-start time of *block_number* (0-based)."""
+        if block_number < 0:
+            raise ParameterError(
+                f"block_number must be >= 0, got {block_number}"
+            )
+        return self.start + block_number * self.period
+
+    def deadlines(self, count: int) -> List[float]:
+        """The first *count* block deadlines."""
+        if count < 0:
+            raise ParameterError(f"count must be >= 0, got {count}")
+        return [self.deadline(i) for i in range(count)]
+
+
+def forced_display_times(
+    arrivals: Sequence[float],
+    clock: MediaClock,
+    wait_overhead: float = 0.0,
+) -> List[float]:
+    """Display-start times under forced synchronization.
+
+    Each block displays at ``max(arrival, deadline)``; a block that had to
+    wait additionally pays *wait_overhead* (the clocking/display
+    communication cost §3.2 notes).  Late blocks display immediately on
+    arrival — lateness shows up in the jitter metrics, not here.
+    """
+    if wait_overhead < 0:
+        raise ParameterError(
+            f"wait_overhead must be >= 0, got {wait_overhead}"
+        )
+    times: List[float] = []
+    for block_number, arrival in enumerate(arrivals):
+        deadline = clock.deadline(block_number)
+        if arrival < deadline:
+            times.append(deadline + wait_overhead)
+        else:
+            times.append(arrival)
+    return times
+
+
+def is_automatic(access_time: float, playback_duration: float) -> bool:
+    """§3.2 automatic synchronization test.
+
+    True when the effective access time per block equals the block's
+    playback duration (to floating-point tolerance): the transfer pipeline
+    then delivers blocks at exactly the display rate and no clocking
+    device is needed.
+    """
+    if access_time < 0 or playback_duration <= 0:
+        raise ParameterError(
+            "access_time must be >= 0 and playback_duration > 0, got "
+            f"{access_time}, {playback_duration}"
+        )
+    return math.isclose(
+        access_time, playback_duration, rel_tol=_AUTO_SYNC_TOLERANCE
+    )
+
+
+def lateness(
+    arrivals: Sequence[float], clock: MediaClock
+) -> List[float]:
+    """Per-block lateness: ``arrival − deadline`` (negative = early)."""
+    return [
+        arrival - clock.deadline(block_number)
+        for block_number, arrival in enumerate(arrivals)
+    ]
+
+
+def max_lateness(arrivals: Sequence[float], clock: MediaClock) -> float:
+    """Worst lateness over the playback (≤ 0 means fully continuous)."""
+    values = lateness(arrivals, clock)
+    return max(values) if values else 0.0
+
+
+def continuous(arrivals: Sequence[float], clock: MediaClock) -> bool:
+    """True when every block arrived at or before its deadline."""
+    return max_lateness(arrivals, clock) <= 0.0

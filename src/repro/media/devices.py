@@ -1,0 +1,153 @@
+"""Capture and display device models with internal buffers.
+
+§3.3.4 determines storage granularity from "the sizes of internal buffers
+available on the display devices": with direct disk→device transfer, a
+block must fit in device buffer space, and the pipelined/concurrent
+architectures partition the buffer into halves / p parts.
+
+:class:`DeviceBuffer` tracks block occupancy with high-water statistics —
+the simulation uses it to demonstrate the §3.3.2 accumulation behaviour
+(slow motion fills buffers; the disk must pause).  :class:`DisplayDevice`
+and :class:`CaptureDevice` bundle a buffer with the device's rate; per the
+paper's second simplifying assumption, capture time (digitize + compress)
+equals display time (decompress + D/A convert), so both directions share
+one timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.symbols import DisplayDeviceParameters
+from repro.errors import ParameterError
+
+__all__ = ["DeviceBuffer", "DisplayDevice", "CaptureDevice"]
+
+
+class DeviceBuffer:
+    """A bounded pool of block buffers on a media device.
+
+    Occupancy is tracked in *blocks*; attempting to exceed capacity or
+    consume from empty raises, because in the real system those are DMA
+    overrun / display starvation — conditions the continuity analysis
+    exists to prevent, so the simulation must fail loudly on them.
+    """
+
+    def __init__(self, capacity_blocks: int):
+        if capacity_blocks < 1:
+            raise ParameterError(
+                f"capacity_blocks must be >= 1, got {capacity_blocks}"
+            )
+        self.capacity = capacity_blocks
+        self._occupied = 0
+        self._high_water = 0
+        self.deposits = 0
+        self.consumptions = 0
+
+    @property
+    def occupied(self) -> int:
+        """Blocks currently buffered."""
+        return self._occupied
+
+    @property
+    def free(self) -> int:
+        """Buffer slots currently empty."""
+        return self.capacity - self._occupied
+
+    @property
+    def high_water(self) -> int:
+        """Maximum occupancy ever reached."""
+        return self._high_water
+
+    @property
+    def is_full(self) -> bool:
+        """True when no more blocks fit."""
+        return self._occupied >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True when there is nothing to display."""
+        return self._occupied == 0
+
+    def deposit(self, blocks: int = 1) -> None:
+        """Add transferred blocks; raises on overrun."""
+        if blocks < 1:
+            raise ParameterError(f"blocks must be >= 1, got {blocks}")
+        if self._occupied + blocks > self.capacity:
+            raise ParameterError(
+                f"device buffer overrun: {self._occupied}+{blocks} > "
+                f"capacity {self.capacity}"
+            )
+        self._occupied += blocks
+        self._high_water = max(self._high_water, self._occupied)
+        self.deposits += blocks
+
+    def consume(self, blocks: int = 1) -> None:
+        """Remove displayed blocks; raises on underrun (starvation)."""
+        if blocks < 1:
+            raise ParameterError(f"blocks must be >= 1, got {blocks}")
+        if blocks > self._occupied:
+            raise ParameterError(
+                f"device buffer underrun: consuming {blocks} of "
+                f"{self._occupied}"
+            )
+        self._occupied -= blocks
+        self.consumptions += blocks
+
+    def reset(self) -> None:
+        """Empty the buffer and zero statistics."""
+        self._occupied = 0
+        self._high_water = 0
+        self.deposits = 0
+        self.consumptions = 0
+
+
+@dataclass
+class DisplayDevice:
+    """A display device: consumption rate + internal block buffer.
+
+    Parameters
+    ----------
+    params:
+        The §3.3.4 device parameters (``R_vd`` and the frame-buffer size).
+    buffer_blocks:
+        Number of block buffers carved from the device's frame memory
+        (1 sequential, 2 pipelined, p concurrent — or the k-scaled counts
+        of §3.3.2).
+    """
+
+    params: DisplayDeviceParameters
+    buffer_blocks: int = 2
+    buffer: DeviceBuffer = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.buffer = DeviceBuffer(self.buffer_blocks)
+
+    def display_time(self, block_bits: float) -> float:
+        """Seconds to decompress + D/A-convert one block (§2)."""
+        if block_bits < 0:
+            raise ParameterError(f"block_bits must be >= 0, got {block_bits}")
+        return block_bits / self.params.display_rate
+
+
+@dataclass
+class CaptureDevice:
+    """A capture device: digitization/compression rate + staging buffer.
+
+    Per the paper's simplifying assumption (2), "the time to capture a
+    video frame ... and the time to display it ... are approximately
+    equal" — so capture shares the display-rate timing model.
+    """
+
+    params: DisplayDeviceParameters
+    buffer_blocks: int = 2
+    buffer: DeviceBuffer = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.buffer = DeviceBuffer(self.buffer_blocks)
+
+    def capture_time(self, block_bits: float) -> float:
+        """Seconds to digitize + compress one block's worth of media."""
+        if block_bits < 0:
+            raise ParameterError(f"block_bits must be >= 0, got {block_bits}")
+        return block_bits / self.params.display_rate

@@ -1,0 +1,127 @@
+"""Video frames: the basic unit of video (§2).
+
+Digitization of motion video yields a sequence of frames; the prototype's
+UVC hardware digitizes and compresses NTSC video (480×200 pixels, 12 bits
+of color per pixel) at real-time rate.  The simulation does not move pixel
+data around — a :class:`Frame` carries its *size* (the quantity the
+storage analysis consumes) plus a content *token* so that file-system
+round-trip tests can verify that playback returns exactly the recorded
+frames in order, without materializing megabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.symbols import VideoStream
+from repro.errors import ParameterError
+from repro.media.codec import Codec, FixedRateCodec
+
+__all__ = [
+    "NTSC_WIDTH",
+    "NTSC_HEIGHT",
+    "NTSC_BITS_PER_PIXEL",
+    "raw_frame_bits",
+    "ntsc_raw_frame_bits",
+    "Frame",
+    "generate_frames",
+    "frames_for_duration",
+]
+
+#: The prototype's capture resolution (§5.1).
+NTSC_WIDTH = 480
+NTSC_HEIGHT = 200
+NTSC_BITS_PER_PIXEL = 12
+
+
+def raw_frame_bits(width: int, height: int, bits_per_pixel: int) -> float:
+    """Uncompressed frame size in bits."""
+    if width < 1 or height < 1 or bits_per_pixel < 1:
+        raise ParameterError(
+            f"invalid frame dimensions {width}x{height}x{bits_per_pixel}"
+        )
+    return float(width * height * bits_per_pixel)
+
+
+def ntsc_raw_frame_bits() -> float:
+    """Raw size of one prototype NTSC frame: 480·200·12 = 1 152 000 bits."""
+    return raw_frame_bits(NTSC_WIDTH, NTSC_HEIGHT, NTSC_BITS_PER_PIXEL)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One captured video frame.
+
+    Attributes
+    ----------
+    index:
+        Position in the recording (0-based).
+    size_bits:
+        Compressed size of the frame in bits.
+    timestamp:
+        Capture time relative to the start of recording, seconds.
+    token:
+        Opaque content identifier; equality of tokens means equality of
+        frame content for round-trip verification.
+    """
+
+    index: int
+    size_bits: float
+    timestamp: float
+    token: str
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ParameterError(f"frame index must be >= 0, got {self.index}")
+        if self.size_bits <= 0:
+            raise ParameterError(
+                f"frame size must be positive, got {self.size_bits}"
+            )
+        if self.timestamp < 0:
+            raise ParameterError(
+                f"timestamp must be >= 0, got {self.timestamp}"
+            )
+
+
+def generate_frames(
+    stream: VideoStream,
+    count: int,
+    codec: Optional[Codec] = None,
+    source: str = "camera0",
+) -> Iterator[Frame]:
+    """Yield *count* frames of *stream*, compressed by *codec*.
+
+    Without a codec, frames carry the stream's nominal ``frame_size``
+    (fixed-size frames, the paper's baseline assumption).  With a codec,
+    each frame's raw size is passed through the codec — a variable-rate
+    codec then produces varying frame sizes, the §6.2 extension.
+    """
+    if count < 0:
+        raise ParameterError(f"count must be >= 0, got {count}")
+    if codec is None:
+        codec = FixedRateCodec(ratio=1.0)
+        raw = stream.frame_size
+    else:
+        raw = stream.frame_size * codec.nominal_ratio
+    period = stream.unit_duration
+    for index in range(count):
+        yield Frame(
+            index=index,
+            size_bits=codec.compressed_bits(raw, index),
+            timestamp=index * period,
+            token=f"{source}:frame:{index}",
+        )
+
+
+def frames_for_duration(
+    stream: VideoStream,
+    duration: float,
+    codec: Optional[Codec] = None,
+    source: str = "camera0",
+) -> List[Frame]:
+    """All frames captured in *duration* seconds of recording."""
+    if duration < 0:
+        raise ParameterError(f"duration must be >= 0, got {duration}")
+    count = int(duration * stream.frame_rate)
+    return list(generate_frames(stream, count, codec, source))

@@ -1,0 +1,111 @@
+"""Trigger information: text synchronized with media blocks (Fig. 8).
+
+The rope record carries, per strand interval, a list of triggers —
+``[VideoBlockID, AudioBlockID, TextString]`` — "Text to be synchronized
+with audio/video".  The prototype used these to pop captions and slide
+changes at exact media positions.
+
+This module provides the two halves:
+
+* :func:`attach_trigger` — place a trigger at a playback time: the
+  containing segment is located, the time is snapped to the *start of
+  the containing video block* (triggers fire on block boundaries, where
+  inter-media correspondence is exact), and the block IDs are recorded.
+* :func:`trigger_schedule` — the playback side: walk a segment list and
+  emit ``(time_offset, text)`` pairs for every trigger whose block falls
+  inside its segment's interval, in firing order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence, Tuple
+
+from repro.errors import IntervalError
+from repro.rope.intervals import Segment, Trigger
+
+__all__ = ["attach_trigger", "trigger_schedule"]
+
+
+def attach_trigger(
+    segments: Sequence[Segment], time: float, text: str
+) -> List[Segment]:
+    """Return a copy of *segments* with a trigger at playback *time*.
+
+    The trigger snaps to the start of the block containing *time* in the
+    segment's governing medium (video when present, else audio), and
+    records both media's block IDs where available.
+    """
+    if not text:
+        raise IntervalError("a trigger needs text")
+    if time < 0:
+        raise IntervalError(f"trigger time must be >= 0, got {time}")
+    elapsed = 0.0
+    result = list(segments)
+    for position, segment in enumerate(segments):
+        end = elapsed + segment.duration
+        if time < end or position == len(segments) - 1 and time <= end + 1e-9:
+            offset = min(max(0.0, time - elapsed), segment.duration)
+            video_block = None
+            audio_block = None
+            if segment.video is not None:
+                unit = segment.video.start_unit + int(
+                    offset * segment.video.rate
+                )
+                video_block = unit // segment.video.granularity
+            if segment.audio is not None:
+                unit = segment.audio.start_unit + int(
+                    offset * segment.audio.rate
+                )
+                audio_block = unit // segment.audio.granularity
+            trigger = Trigger(
+                video_block=video_block,
+                audio_block=audio_block,
+                text=text,
+            )
+            result[position] = replace(
+                segment, triggers=segment.triggers + (trigger,)
+            )
+            return result
+        elapsed = end
+    raise IntervalError(
+        f"trigger time {time:.3f} s beyond rope end {elapsed:.3f} s"
+    )
+
+
+def trigger_schedule(
+    segments: Sequence[Segment],
+) -> List[Tuple[float, str]]:
+    """All trigger firings of a segment list: ``(time_offset, text)``.
+
+    A trigger fires when its block starts playing.  Triggers whose block
+    lies outside the segment's (possibly edited-down) interval are
+    silent — exactly like media outside the interval.  The result is
+    sorted by firing time.
+    """
+    firings: List[Tuple[float, str]] = []
+    elapsed = 0.0
+    for segment in segments:
+        for trigger in segment.triggers:
+            time = _firing_time(segment, trigger)
+            if time is not None:
+                firings.append((elapsed + time, trigger.text))
+        elapsed += segment.duration
+    firings.sort(key=lambda pair: pair[0])
+    return firings
+
+
+def _firing_time(segment: Segment, trigger: Trigger):
+    """Offset of a trigger within its segment, or None if out of range."""
+    track = None
+    block = None
+    if trigger.video_block is not None and segment.video is not None:
+        track, block = segment.video, trigger.video_block
+    elif trigger.audio_block is not None and segment.audio is not None:
+        track, block = segment.audio, trigger.audio_block
+    if track is None:
+        return None
+    block_start_unit = block * track.granularity
+    if not track.start_unit <= block_start_unit < track.end_unit:
+        return None
+    return (block_start_unit - track.start_unit) / track.rate

@@ -1,0 +1,56 @@
+"""The real-time service layer: architecture simulators, round-robin
+service, recording, sessions, and the MRS↔MSM RPC boundary."""
+
+from repro.service.playback import (
+    simulate_concurrent,
+    simulate_pipelined,
+    simulate_sequential,
+)
+from repro.service.besteffort import TextRequest, UnifiedService
+from repro.service.mixed_rounds import MixedRoundService, RecordStream
+from repro.service.recording import simulate_recording
+from repro.service.rounds import Admission, RoundRobinService, StreamState
+from repro.service.rpc import RpcCall, RpcChannel, stub_for
+from repro.service.scan_order import (
+    RoundTimeProbe,
+    ScanOrderService,
+    measured_capacity,
+    probe_round_times,
+)
+from repro.service.session import (
+    PlaybackSession,
+    SessionResult,
+    staged_k_schedule,
+)
+from repro.service.variable_speed import (
+    VariableSpeedResult,
+    simulate_variable_speed,
+    transform_plan,
+)
+
+__all__ = [
+    "Admission",
+    "MixedRoundService",
+    "PlaybackSession",
+    "RecordStream",
+    "TextRequest",
+    "UnifiedService",
+    "RoundRobinService",
+    "RoundTimeProbe",
+    "RpcCall",
+    "RpcChannel",
+    "ScanOrderService",
+    "SessionResult",
+    "StreamState",
+    "VariableSpeedResult",
+    "measured_capacity",
+    "probe_round_times",
+    "simulate_concurrent",
+    "simulate_pipelined",
+    "simulate_recording",
+    "simulate_sequential",
+    "simulate_variable_speed",
+    "staged_k_schedule",
+    "stub_for",
+    "transform_plan",
+]

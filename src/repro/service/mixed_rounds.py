@@ -1,0 +1,159 @@
+"""Concurrent storage *and* retrieval in one service loop (§3, §3.4).
+
+"the file system can only accept a limited number of requests without
+violating the continuity requirements of any of the requests" — and those
+requests are storage or retrieval alike: §3's analysis treats recording
+and playback symmetrically (disk write time ≈ read time, capture time ≈
+display time), and §3.4's admission control covers "n active media
+storage/retrieval requests".
+
+:class:`MixedRoundService` realizes that: the round loop multiplexes
+playback streams (:class:`~repro.service.rounds.StreamState`) *and*
+recording streams (:class:`RecordStream`).  A recording stream's capture
+hardware produces one block per block period into a bounded staging
+buffer; the service must write each block out before the buffer overruns
+(block j's deadline is when block ``j + capacity`` finishes capturing),
+which is the storage-side continuity requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.service.rounds import RoundRobinService, StreamState
+from repro.sim.metrics import ContinuityMetrics
+
+__all__ = ["RecordStream", "MixedRoundService"]
+
+
+@dataclass
+class RecordStream:
+    """One RECORD request's progress through its placement.
+
+    Attributes
+    ----------
+    request_id:
+        Identifier for reporting.
+    slots:
+        Target disk slots in recording order (the strand's placement).
+    block_period:
+        Seconds of media per block (η/R) — capture produces one block per
+        period, starting at time 0.
+    staging_capacity:
+        Capture-device staging buffers; block j must be written before
+        block ``j + staging_capacity`` finishes capturing.
+    k_override:
+        Per-request k_i (general Eq.-11 admission), else the global k.
+    block_bits:
+        Payload bits written per block (None = full device block).
+    """
+
+    request_id: str
+    slots: Sequence[int]
+    block_period: float
+    staging_capacity: int = 2
+    k_override: Optional[int] = None
+    block_bits: Optional[float] = None
+    next_block: int = 0
+    metrics: ContinuityMetrics = field(default_factory=ContinuityMetrics)
+
+    def __post_init__(self) -> None:
+        if self.block_period <= 0:
+            raise ParameterError(
+                f"block_period must be positive, got {self.block_period}"
+            )
+        if self.staging_capacity < 1:
+            raise ParameterError(
+                f"staging_capacity must be >= 1, got {self.staging_capacity}"
+            )
+        self.metrics.request_id = self.request_id
+
+    @property
+    def finished(self) -> bool:
+        """True when every block has been written."""
+        return self.next_block >= len(self.slots)
+
+    def captured_at(self, now: float) -> int:
+        """Blocks fully captured by *now* (one per period from t = 0)."""
+        return min(len(self.slots), int(now / self.block_period))
+
+    def deadline_of(self, block_number: int) -> float:
+        """When the staging buffer overruns unless this block is written."""
+        return (
+            block_number + 1 + self.staging_capacity
+        ) * self.block_period
+
+
+class MixedRoundService(RoundRobinService):
+    """Round service over playback *and* recording requests.
+
+    Each round serves the playback streams exactly as
+    :class:`RoundRobinService`, then gives every recording stream its k
+    blocks — writing only blocks that capture has actually produced (the
+    disk cannot write media that does not exist yet; if none is ready the
+    service waits for the next capture, which is recording's analogue of
+    buffer regulation).
+    """
+
+    def __init__(
+        self,
+        drive,
+        k_schedule: Callable[[int, int], int],
+        record_streams: Sequence[RecordStream] = (),
+        tracer=None,
+    ):
+        super().__init__(drive, k_schedule, tracer)
+        self.record_streams: List[RecordStream] = list(record_streams)
+
+    def run(
+        self,
+        initial: Sequence[StreamState],
+        admissions=(),
+        max_rounds: int = 100_000,
+    ) -> Dict[str, ContinuityMetrics]:
+        metrics = super().run(initial, admissions, max_rounds)
+        for record in self.record_streams:
+            metrics[record.request_id] = record.metrics
+        return metrics
+
+    def _extra_work_pending(self) -> bool:
+        return bool(self._active_recorders())
+
+    def _active_recorders(self) -> List[RecordStream]:
+        return [r for r in self.record_streams if not r.finished]
+
+    def _run_round(
+        self,
+        time: float,
+        active: Sequence[StreamState],
+        k: int,
+        round_number: int,
+    ) -> Tuple[float, bool]:
+        time, progressed = super()._run_round(time, active, k, round_number)
+        recorders = self._active_recorders()
+        for record in recorders:
+            quota = record.k_override if record.k_override else k
+            written = 0
+            while written < quota and not record.finished:
+                block_number = record.next_block
+                captured_time = (block_number + 1) * record.block_period
+                if captured_time > time:
+                    if written == 0 and not active:
+                        # Nothing else to do: wait for capture.
+                        time = captured_time
+                    else:
+                        break
+                start = max(time, captured_time)
+                time = start + self.drive.write_slot(
+                    record.slots[block_number], record.block_bits
+                )
+                record.metrics.record_delivery(
+                    time, record.deadline_of(block_number)
+                )
+                record.next_block += 1
+                written += 1
+                progressed = True
+        return time, progressed
+

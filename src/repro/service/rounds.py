@@ -1,0 +1,278 @@
+"""Round-robin servicing of multiple requests (§3.4).
+
+"In order to service multiple requests simultaneously, the file system
+proceeds in rounds.  In each round, it multiplexes among the media block
+transfers of the n requests", reading k consecutive blocks per request
+before switching; switching costs a real head movement (bounded by the
+maximum seek).
+
+:class:`RoundRobinService` replays any number of playback plans through
+one simulated drive under a per-round k schedule, scoring continuity per
+request.  It supports:
+
+* mid-run admissions (new streams joining at a chosen round) with either
+  the paper's transition-safe step-of-1 k growth or a naive jump — the
+  E3 experiment's comparison;
+* buffer-capacity regulation ("regulating the number of data blocks
+  transferred for each request during each service round, so as not to
+  overflow the buffering available in the display subsystem");
+* per-request playback clocks that start when the request's anti-jitter
+  read-ahead (its first k-block service) completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.disk.drive import SimulatedDrive
+from repro.errors import ParameterError
+from repro.rope.server import BlockFetch
+from repro.sim.metrics import ContinuityMetrics
+from repro.sim.trace import Tracer
+
+__all__ = ["StreamState", "Admission", "RoundRobinService"]
+
+
+@dataclass
+class StreamState:
+    """One request's progress through its fetch plan.
+
+    ``k_override``, when set, replaces the round's global k for this
+    stream — the per-request k_i of Eq. (11)'s general formulation
+    (see :func:`repro.core.admission.solve_heterogeneous_k`).
+    """
+
+    request_id: str
+    fetches: Sequence[BlockFetch]
+    buffer_capacity: int
+    k_override: Optional[int] = None
+    next_fetch: int = 0
+    clock_start: Optional[float] = None
+    _elapsed_playback: float = 0.0
+    metrics: ContinuityMetrics = field(default_factory=ContinuityMetrics)
+    #: (ready time, deadline, duration) per delivered block.
+    deliveries: List[Tuple[float, float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.metrics.request_id = self.request_id
+        if self.buffer_capacity < 1:
+            raise ParameterError(
+                f"buffer_capacity must be >= 1, got {self.buffer_capacity}"
+            )
+
+    @property
+    def finished(self) -> bool:
+        """True when every block has been delivered."""
+        return self.next_fetch >= len(self.fetches)
+
+    def consumed_at(self, now: float) -> int:
+        """Blocks whose playback has completed by *now*."""
+        if self.clock_start is None:
+            return 0
+        count = 0
+        elapsed = self.clock_start
+        for ready, _deadline, duration in self.deliveries:
+            end = max(elapsed, ready) + duration
+            if end <= now:
+                count += 1
+                elapsed = end
+            else:
+                break
+        return count
+
+    def buffered_at(self, now: float) -> int:
+        """Blocks sitting in the display buffer at *now*."""
+        return len(self.deliveries) - self.consumed_at(now)
+
+    def next_consumption_time(self, now: float) -> float:
+        """When the next buffered block finishes playing (inf if never).
+
+        Used by the service loop to advance time when every stream's
+        buffer is full — consumption is the only thing that frees space.
+        """
+        if self.clock_start is None:
+            return float("inf")
+        elapsed = self.clock_start
+        for ready, _deadline, duration in self.deliveries:
+            end = max(elapsed, ready) + duration
+            if end > now:
+                return end
+            elapsed = end
+        return float("inf")
+
+
+@dataclass(frozen=True)
+class Admission:
+    """A stream joining the service at the start of a given round."""
+
+    round_number: int
+    stream: StreamState
+
+
+class RoundRobinService:
+    """The §3.4 service loop over one drive.
+
+    Parameters
+    ----------
+    drive:
+        The shared mechanism.
+    k_schedule:
+        Callable ``(round_number, active_count) -> k`` giving the blocks
+        per request to transfer in that round.  The paper's algorithm
+        passes the admission controller's staged plan through this hook.
+    tracer:
+        Optional event tracer.
+    """
+
+    def __init__(
+        self,
+        drive: SimulatedDrive,
+        k_schedule: Callable[[int, int], int],
+        tracer: Optional[Tracer] = None,
+    ):
+        self.drive = drive
+        self.k_schedule = k_schedule
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.rounds_run = 0
+
+    def _extra_work_pending(self) -> bool:
+        """Hook for subclasses with non-playback work (e.g. recording).
+
+        When True, the service loop keeps running rounds even after every
+        playback stream has finished.
+        """
+        return False
+
+    def run(
+        self,
+        initial: Sequence[StreamState],
+        admissions: Sequence[Admission] = (),
+        max_rounds: int = 100_000,
+    ) -> Dict[str, ContinuityMetrics]:
+        """Service all streams to completion; returns metrics per request."""
+        time = 0.0
+        active: List[StreamState] = list(initial)
+        pending = sorted(admissions, key=lambda a: a.round_number)
+        round_number = 0
+        while True:
+            while pending and pending[0].round_number <= round_number:
+                admitted = pending.pop(0)
+                active.append(admitted.stream)
+                self.tracer.emit(
+                    time, "admit", admitted.stream.request_id,
+                    f"round {round_number}",
+                )
+            active = [stream for stream in active if not stream.finished]
+            if not active and not pending and not self._extra_work_pending():
+                break
+            if not active and pending and not self._extra_work_pending():
+                round_number += 1
+                continue
+            k = self.k_schedule(round_number, len(active))
+            if k < 1:
+                raise ParameterError(
+                    f"k schedule returned {k} for round {round_number}"
+                )
+            time, progressed = self._run_round(time, active, k, round_number)
+            if not progressed:
+                # Every buffer was full: idle until consumption frees one.
+                wake = min(
+                    stream.next_consumption_time(time) for stream in active
+                )
+                if wake == float("inf") or wake <= time:
+                    raise ParameterError(
+                        "service deadlocked: all buffers full and no "
+                        "playback consuming them"
+                    )
+                time = wake
+            round_number += 1
+            self.rounds_run += 1
+            if round_number > max_rounds:
+                raise ParameterError(
+                    f"exceeded {max_rounds} rounds; k schedule likely "
+                    "starves a stream"
+                )
+        return {
+            stream.request_id: stream.metrics
+            for stream in list(initial) + [a.stream for a in admissions]
+        }
+
+    def _run_round(
+        self,
+        time: float,
+        active: Sequence[StreamState],
+        k: int,
+        round_number: int,
+    ) -> Tuple[float, bool]:
+        progressed = False
+        for stream in active:
+            if stream.finished:
+                continue
+            stream_k = stream.k_override if stream.k_override else k
+            # Buffer regulation: never exceed display-subsystem capacity.
+            room = stream.buffer_capacity - stream.buffered_at(time)
+            quota = min(stream_k, max(0, room))
+            if quota == 0:
+                self.tracer.emit(
+                    time, "buffer-full", stream.request_id,
+                    f"round {round_number}",
+                )
+                continue
+            delivered = 0
+            while delivered < quota and not stream.finished:
+                fetch = stream.fetches[stream.next_fetch]
+                if fetch.slot is not None:
+                    time += self.drive.read_slot(fetch.slot, fetch.bits)
+                self._deliver(stream, fetch, time)
+                stream.next_fetch += 1
+                delivered += 1
+                progressed = True
+            # Playback starts once the anti-jitter read-ahead — the first
+            # k-block service, capped by what the display buffer can
+            # actually hold — is on board.
+            threshold = min(
+                stream_k, stream.buffer_capacity, len(stream.fetches)
+            )
+            if stream.clock_start is None and (
+                len(stream.deliveries) >= threshold
+            ):
+                stream.clock_start = time
+                stream.metrics.startup_latency = time
+                self._rescore(stream)
+                self.tracer.emit(
+                    time, "playback-start", stream.request_id,
+                    f"after {len(stream.deliveries)} blocks",
+                )
+        return time, progressed
+
+    def _deliver(
+        self, stream: StreamState, fetch: BlockFetch, ready: float
+    ) -> None:
+        if stream.clock_start is None:
+            # Deadline unknown until the clock starts; placeholder scored
+            # in _rescore.
+            stream.deliveries.append((ready, float("nan"), fetch.duration))
+            return
+        deadline = stream.clock_start + stream._elapsed_playback
+        stream._elapsed_playback += fetch.duration
+        stream.deliveries.append((ready, deadline, fetch.duration))
+        stream.metrics.record_delivery(ready, deadline)
+        high = stream.buffered_at(ready)
+        stream.metrics.buffer_high_water = max(
+            stream.metrics.buffer_high_water, high
+        )
+
+    def _rescore(self, stream: StreamState) -> None:
+        """Assign deadlines to pre-start deliveries once the clock starts."""
+        start = stream.clock_start
+        assert start is not None
+        rescored: List[Tuple[float, float, float]] = []
+        elapsed = 0.0
+        for ready, _deadline, duration in stream.deliveries:
+            deadline = start + elapsed
+            elapsed += duration
+            rescored.append((ready, deadline, duration))
+            stream.metrics.record_delivery(ready, deadline)
+        stream.deliveries = rescored
+        stream._elapsed_playback = elapsed

@@ -1,0 +1,170 @@
+"""End-to-end service sessions: MRS requests → round service → metrics.
+
+This is the wiring layer the §5 prototype calls "the file system": it
+takes PLAY requests admitted by the rope server, flattens them to
+playback plans, builds the §3.4 round-robin service with the admission
+controller's k (including staged transitions), runs the simulation, and
+returns per-request continuity metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.buffering import buffers_for_average_continuity
+from repro.core.continuity import Architecture
+from repro.errors import ParameterError
+from repro.rope.server import MultimediaRopeServer, PlaybackPlan
+from repro.service.rounds import Admission, RoundRobinService, StreamState
+from repro.sim.metrics import ContinuityMetrics
+from repro.sim.trace import Tracer
+
+__all__ = ["SessionResult", "PlaybackSession", "staged_k_schedule"]
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome of one service session."""
+
+    metrics: Dict[str, ContinuityMetrics]
+    rounds: int
+    k_used: int
+
+    @property
+    def all_continuous(self) -> bool:
+        """True when every request played without a single miss."""
+        return all(m.continuous for m in self.metrics.values())
+
+    @property
+    def total_misses(self) -> int:
+        """Summed deadline misses across requests."""
+        return sum(m.misses for m in self.metrics.values())
+
+
+def staged_k_schedule(
+    k_initial: int, steps: Sequence[Tuple[int, int]]
+) -> Callable[[int, int], int]:
+    """Build a k schedule from staged transitions.
+
+    Parameters
+    ----------
+    k_initial:
+        k for round 0.
+    steps:
+        ``(round_number, k)`` pairs, ascending; from that round on, the
+        given k applies.  The paper's step-of-1 transition expands to
+        consecutive rounds each raising k by one.
+    """
+    if k_initial < 1:
+        raise ParameterError(f"k_initial must be >= 1, got {k_initial}")
+    ordered = sorted(steps)
+
+    def schedule(round_number: int, active: int) -> int:
+        k = k_initial
+        for start_round, value in ordered:
+            if round_number >= start_round:
+                k = value
+        return k
+
+    return schedule
+
+
+class PlaybackSession:
+    """Runs admitted PLAY requests through the round-robin service.
+
+    Parameters
+    ----------
+    server:
+        The rope server whose storage manager owns the drive and the
+        admission controller.
+    architecture:
+        Governs buffer sizing (2k for pipelined, §3.3.2).
+    """
+
+    def __init__(
+        self,
+        server: MultimediaRopeServer,
+        architecture: Architecture = Architecture.PIPELINED,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.server = server
+        self.architecture = architecture
+        self.tracer = tracer
+
+    def _stream_for(
+        self, request_id: str, k: int
+    ) -> StreamState:
+        plan = self.server.playback_plan(request_id)
+        fetches = self._interleave(plan)
+        capacity = buffers_for_average_continuity(self.architecture, k)
+        return StreamState(
+            request_id=request_id,
+            fetches=fetches,
+            buffer_capacity=max(capacity, 2),
+        )
+
+    @staticmethod
+    def _interleave(plan: PlaybackPlan) -> List:
+        """Merge a plan's video and audio fetches into one disk sequence.
+
+        Fetches are ordered by their cumulative playback position, so the
+        round service reads each medium just ahead of its deadline —
+        homogeneous blocks retrieved "for every n video blocks" (§3.3.3).
+        """
+        sequence = []
+        v_time = 0.0
+        a_time = 0.0
+        vi = ai = 0
+        video, audio = plan.video, plan.audio
+        while vi < len(video) or ai < len(audio):
+            take_video = ai >= len(audio) or (
+                vi < len(video) and v_time <= a_time
+            )
+            if take_video:
+                sequence.append(video[vi])
+                v_time += video[vi].duration
+                vi += 1
+            else:
+                sequence.append(audio[ai])
+                a_time += audio[ai].duration
+                ai += 1
+        return sequence
+
+    def run(
+        self,
+        request_ids: Sequence[str],
+        k: Optional[int] = None,
+        admissions: Sequence[Tuple[int, str]] = (),
+        k_schedule: Optional[Callable[[int, int], int]] = None,
+    ) -> SessionResult:
+        """Service *request_ids* from round 0 (+ later admissions) to done.
+
+        Parameters
+        ----------
+        k:
+            Blocks per request per round; defaults to the admission
+            controller's current k.
+        admissions:
+            ``(round_number, request_id)`` pairs joining mid-run.
+        k_schedule:
+            Full override of the per-round k (wins over *k*).
+        """
+        controller = self.server.msm.admission
+        if k is None:
+            k = max(1, controller.current_k)
+        if k_schedule is None:
+            def k_schedule(round_number: int, active: int) -> int:
+                return k
+        initial = [self._stream_for(rid, k) for rid in request_ids]
+        later = [
+            Admission(round_number=round_number, stream=self._stream_for(rid, k))
+            for round_number, rid in admissions
+        ]
+        service = RoundRobinService(
+            self.server.msm.drive, k_schedule, tracer=self.tracer
+        )
+        metrics = service.run(initial, later)
+        return SessionResult(
+            metrics=metrics, rounds=service.rounds_run, k_used=k
+        )

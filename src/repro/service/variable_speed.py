@@ -1,0 +1,182 @@
+"""Variable-speed playback: fast-forward and slow motion (§3.3.2).
+
+"Functions such as fast-forwarding can be supported by satisfying
+continuity requirements at the fastest required display rate.  Whereas
+fast-forwarding without skipping frames increases both continuity and
+buffering requirements, fast-forwarding with skipping increases only the
+continuity requirement.  However, when blocks are displayed slower than
+the fastest rate ..., retrieval of media blocks proceeds faster than
+their display, leading to accumulation of media blocks in buffers.  In
+order to prevent unbounded accumulation, the disk can switch to some
+other task after all the buffers allocated to the retrieval of a media
+strand are filled, and switch back when sufficient buffers become empty"
+— reading ahead h extra blocks before each switch to survive the
+worst-case re-positioning seek.
+
+:func:`transform_plan` rewrites a fetch sequence for a given speed
+(dropping blocks for skipped fast-forward, stretching durations for slow
+motion); :func:`simulate_variable_speed` replays the transformed plan
+with a bounded buffer and the switch/read-ahead protocol, reporting both
+continuity and the buffer/task-switch behaviour the paper predicts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from repro.disk.drive import SimulatedDrive
+from repro.errors import ParameterError
+from repro.rope.server import BlockFetch
+from repro.sim.metrics import ContinuityMetrics
+
+__all__ = [
+    "VariableSpeedResult",
+    "transform_plan",
+    "simulate_variable_speed",
+]
+
+
+def transform_plan(
+    fetches: Sequence[BlockFetch],
+    speed: float,
+    skipping: bool = False,
+) -> List[BlockFetch]:
+    """Rewrite a normal-speed fetch plan for playback at *speed*×.
+
+    * ``speed > 1`` fast-forward: every duration shrinks by the factor.
+      With *skipping*, only every ``⌈speed⌉``-th block is fetched, each
+      shown for its un-skipped wall-clock share (the paper's
+      "fast-forwarding with skipping").
+    * ``speed < 1`` slow motion: durations stretch by 1/speed.
+    """
+    if speed <= 0:
+        raise ParameterError(f"speed must be positive, got {speed}")
+    if skipping and speed <= 1.0:
+        raise ParameterError("skipping only applies to fast-forward")
+    if skipping:
+        stride = math.ceil(speed)
+        kept = list(fetches[::stride])
+        # Each kept block covers `stride` blocks of media in stride/speed
+        # of wall-clock time.
+        return [
+            replace(fetch, duration=fetch.duration * stride / speed)
+            for fetch in kept
+        ]
+    return [
+        replace(fetch, duration=fetch.duration / speed)
+        for fetch in fetches
+    ]
+
+
+@dataclass(frozen=True)
+class VariableSpeedResult:
+    """Outcome of a variable-speed playback simulation."""
+
+    metrics: ContinuityMetrics
+    buffer_high_water: int
+    task_switches: int
+    switch_idle_time: float
+
+    @property
+    def continuous(self) -> bool:
+        """True when every displayed block met its deadline."""
+        return self.metrics.continuous
+
+
+def simulate_variable_speed(
+    fetches: Sequence[BlockFetch],
+    drive: SimulatedDrive,
+    speed: float,
+    buffer_capacity: int,
+    skipping: bool = False,
+    switch_penalty: float = None,
+    request_id: str = "varspeed",
+) -> VariableSpeedResult:
+    """Replay a plan at *speed*× with bounded buffering and task switches.
+
+    Pipelined transfer model: the disk reads ahead as long as buffer
+    space remains; when the buffer fills it "switches to another task"
+    and returns only when half the buffers have drained, paying
+    *switch_penalty* (default: the drive's worst-case re-positioning
+    time) before the next read — the behaviour §3.3.2 prescribes, with
+    the h-block read-ahead realized by the full buffer it leaves behind.
+    """
+    if buffer_capacity < 1:
+        raise ParameterError(
+            f"buffer_capacity must be >= 1, got {buffer_capacity}"
+        )
+    plan = transform_plan(fetches, speed, skipping)
+    if switch_penalty is None:
+        params = drive.parameters()
+        switch_penalty = params.seek_max
+    metrics = ContinuityMetrics(request_id=request_id)
+    ready: List[float] = []
+    time = 0.0
+    clock_start: float = None
+    display_elapsed = 0.0
+    consumed = 0
+    switches = 0
+    idle = 0.0
+    away = False
+
+    def consumed_by(now: float) -> int:
+        if clock_start is None:
+            return 0
+        count = 0
+        elapsed = clock_start
+        for index, fetch in enumerate(plan[:len(ready)]):
+            end = max(elapsed, ready[index]) + fetch.duration
+            if end <= now:
+                count += 1
+                elapsed = end
+            else:
+                break
+        return count
+
+    for index, fetch in enumerate(plan):
+        # Buffer regulation with the task-switch protocol.
+        buffered = len(ready) - consumed_by(time)
+        if buffered >= buffer_capacity:
+            switches += 1
+            away = True
+            # Wait until half the buffers drain.
+            target = len(ready) - buffer_capacity // 2
+            wake = time
+            elapsed = clock_start
+            done = 0
+            for j, done_fetch in enumerate(plan[:len(ready)]):
+                end = max(elapsed, ready[j]) + done_fetch.duration
+                elapsed = end
+                done = j + 1
+                if done >= max(target, consumed_by(time) + 1):
+                    wake = end
+                    break
+            idle += max(0.0, wake - time)
+            time = max(time, wake)
+        if fetch.slot is not None:
+            penalty = switch_penalty if away else 0.0
+            away = False
+            time += penalty + drive.read_slot(fetch.slot, fetch.bits)
+        ready.append(time)
+        if clock_start is None:
+            clock_start = time
+    # Score deadlines.
+    deadline = clock_start if clock_start is not None else 0.0
+    high_water = 0
+    for index, fetch in enumerate(plan):
+        metrics.record_delivery(ready[index], deadline)
+        deadline += fetch.duration
+    # High-water: densest over-delivery relative to consumption.
+    for index in range(len(ready)):
+        high_water = max(
+            high_water, index + 1 - consumed_by(ready[index])
+        )
+    metrics.buffer_high_water = high_water
+    return VariableSpeedResult(
+        metrics=metrics,
+        buffer_high_water=high_water,
+        task_switches=switches,
+        switch_idle_time=idle,
+    )

@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate: engine, metrics, tracing."""
+
+from repro.sim.engine import Engine, Signal
+from repro.sim.metrics import ContinuityMetrics, SweepSeries
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "ContinuityMetrics",
+    "Engine",
+    "Signal",
+    "SweepSeries",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,159 @@
+"""A small discrete-event simulation engine.
+
+The prototype measured continuity against wall-clock time; the
+reproduction measures it against a simulated clock (per the repro brief,
+real-time I/O timing on modern hardware would be meaningless for a 1991
+design anyway).  The engine is a classic event-calendar design:
+
+* :meth:`Engine.at` / :meth:`Engine.after` schedule callbacks;
+* :meth:`Engine.spawn` runs a generator-based process that ``yield``s
+  delays (floats) or :class:`Signal` objects to wait on;
+* :meth:`Engine.run` drains the calendar, optionally up to a horizon.
+
+Determinism: events at equal times fire in scheduling order (a
+monotonically increasing sequence number breaks ties), so simulations are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generator, List, Optional, Union
+
+from repro.errors import SimulationError
+
+__all__ = ["Signal", "Engine"]
+
+#: What a process generator may yield: a delay in seconds, or a Signal.
+ProcessYield = Union[float, int, "Signal"]
+ProcessGenerator = Generator[ProcessYield, None, None]
+
+
+class Signal:
+    """A wake-up condition processes can wait on.
+
+    A process that yields a Signal sleeps until some other party calls
+    :meth:`fire`.  Each firing wakes *all* current waiters (broadcast
+    semantics); waiters arriving later wait for the next firing.
+    """
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self._engine = engine
+        self.name = name
+        self._waiters: List[ProcessGenerator] = []
+        self.fire_count = 0
+
+    def fire(self) -> int:
+        """Wake all waiting processes; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._engine._step_process(process)
+        self.fire_count += 1
+        return len(waiters)
+
+    def _enlist(self, process: ProcessGenerator) -> None:
+        self._waiters.append(process)
+
+    @property
+    def waiting(self) -> int:
+        """Processes currently blocked on this signal."""
+        return len(self._waiters)
+
+
+class Engine:
+    """The simulation clock and event calendar."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._calendar: List = []
+        self._sequence = itertools.count()
+        self.events_executed = 0
+        self.processes_spawned = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------------
+
+    def at(self, when: float, action: Callable[[], None]) -> None:
+        """Run *action* at absolute time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when:.9f}, clock is already at "
+                f"{self._now:.9f}"
+            )
+        heapq.heappush(
+            self._calendar, (when, next(self._sequence), action)
+        )
+
+    def after(self, delay: float, action: Callable[[], None]) -> None:
+        """Run *action* after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self.at(self._now + delay, action)
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a Signal bound to this engine."""
+        return Signal(self, name)
+
+    # -- processes ---------------------------------------------------------------
+
+    def spawn(self, process: ProcessGenerator) -> None:
+        """Start a generator-based process immediately."""
+        self.processes_spawned += 1
+        self._step_process(process)
+
+    def _step_process(self, process: ProcessGenerator) -> None:
+        try:
+            yielded = next(process)
+        except StopIteration:
+            return
+        if isinstance(yielded, Signal):
+            yielded._enlist(process)
+            return
+        delay = float(yielded)
+        if delay < 0:
+            raise SimulationError(
+                f"process yielded negative delay {delay!r}"
+            )
+        self.after(delay, lambda: self._step_process(process))
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the calendar; returns the final clock value.
+
+        Parameters
+        ----------
+        until:
+            Optional horizon; events after it stay queued and the clock
+            stops exactly at the horizon.
+        max_events:
+            Runaway guard; exceeding it raises :class:`SimulationError`.
+        """
+        executed = 0
+        while self._calendar:
+            when, _seq, action = self._calendar[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._calendar)
+            self._now = when
+            action()
+            executed += 1
+            self.events_executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; suspected infinite loop"
+                )
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events still on the calendar."""
+        return len(self._calendar)

@@ -1,0 +1,95 @@
+"""Continuity metrics: what the simulation measures (§3.1's requirement).
+
+"For continuous retrieval of media data, it is essential that media
+information be available at the display device at or before the time of
+its playback."  :class:`ContinuityMetrics` scores one request's playback
+against that requirement: every block has a deadline (from the recording
+rate) and an arrival time (from the simulated disk); a block arriving
+after its deadline is a **continuity violation** ("glitch"), and its
+lateness quantifies how audible/visible the glitch would be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ParameterError
+
+__all__ = ["ContinuityMetrics", "SweepSeries"]
+
+
+@dataclass
+class ContinuityMetrics:
+    """Deadline bookkeeping for one playback/recording request."""
+
+    request_id: str = ""
+    blocks_delivered: int = 0
+    misses: int = 0
+    total_lateness: float = 0.0
+    max_lateness: float = 0.0
+    startup_latency: float = 0.0
+    buffer_high_water: int = 0
+    _lateness_samples: List[float] = field(default_factory=list)
+
+    def record_delivery(self, arrival: float, deadline: float) -> None:
+        """Score one block's arrival against its deadline."""
+        self.blocks_delivered += 1
+        late = arrival - deadline
+        self._lateness_samples.append(late)
+        if late > 0:
+            self.misses += 1
+            self.total_lateness += late
+            self.max_lateness = max(self.max_lateness, late)
+
+    @property
+    def continuous(self) -> bool:
+        """True when no block missed its deadline."""
+        return self.misses == 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of blocks that missed."""
+        if self.blocks_delivered == 0:
+            return 0.0
+        return self.misses / self.blocks_delivered
+
+    @property
+    def mean_lateness(self) -> float:
+        """Mean signed lateness across all blocks (negative = early)."""
+        if not self._lateness_samples:
+            return 0.0
+        return sum(self._lateness_samples) / len(self._lateness_samples)
+
+    @property
+    def jitter(self) -> float:
+        """Peak-to-peak spread of arrival lateness, seconds."""
+        if not self._lateness_samples:
+            return 0.0
+        return max(self._lateness_samples) - min(self._lateness_samples)
+
+
+@dataclass
+class SweepSeries:
+    """One (x, y) series of a parameter sweep, for report tables."""
+
+    name: str
+    x_label: str
+    y_label: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one sweep point."""
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def y_at(self, x: float) -> float:
+        """The y recorded for an exact x (raises if absent)."""
+        try:
+            return self.ys[self.xs.index(x)]
+        except ValueError:
+            raise ParameterError(f"no sweep point at x={x!r}") from None

@@ -1,0 +1,27 @@
+"""Seeded workload generation: recordings, edit scripts, client mixes."""
+
+from repro.workload.generators import (
+    EditScript,
+    Recording,
+    make_recording,
+    make_recordings,
+    random_edit_script,
+)
+from repro.workload.mixes import (
+    ClientSpec,
+    RequestMix,
+    staggered_mix,
+    uniform_mix,
+)
+
+__all__ = [
+    "ClientSpec",
+    "EditScript",
+    "Recording",
+    "RequestMix",
+    "make_recording",
+    "make_recordings",
+    "random_edit_script",
+    "staggered_mix",
+    "uniform_mix",
+]

@@ -1,0 +1,152 @@
+"""Seeded workload generators for experiments and tests.
+
+Everything the experiments feed the file system comes from here: video
+recordings of controlled lengths, speech-like audio with controlled
+silence ratios, editing scripts, and multi-client request mixes.  Every
+generator takes an explicit seed or :class:`random.Random` so experiment
+runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import HardwareProfile
+from repro.errors import ParameterError
+from repro.media.audio import AudioChunk, generate_talk_spurts
+from repro.media.codec import Codec
+from repro.media.frames import Frame, frames_for_duration
+
+__all__ = [
+    "Recording",
+    "make_recording",
+    "make_recordings",
+    "EditScript",
+    "random_edit_script",
+]
+
+
+@dataclass(frozen=True)
+class Recording:
+    """One captured clip: frames and/or audio chunks."""
+
+    name: str
+    duration: float
+    frames: Tuple[Frame, ...]
+    chunks: Tuple[AudioChunk, ...]
+
+    @property
+    def has_video(self) -> bool:
+        """True when the clip carries video."""
+        return bool(self.frames)
+
+    @property
+    def has_audio(self) -> bool:
+        """True when the clip carries audio."""
+        return bool(self.chunks)
+
+
+def make_recording(
+    profile: HardwareProfile,
+    name: str,
+    duration: float,
+    rng: random.Random,
+    video: bool = True,
+    audio: bool = True,
+    silence_ratio: float = 0.35,
+    codec: Optional[Codec] = None,
+) -> Recording:
+    """Generate one clip of *duration* seconds."""
+    if duration <= 0:
+        raise ParameterError(f"duration must be positive, got {duration}")
+    frames: Tuple[Frame, ...] = ()
+    chunks: Tuple[AudioChunk, ...] = ()
+    if video:
+        frames = tuple(
+            frames_for_duration(profile.video, duration, codec, source=name)
+        )
+    if audio:
+        chunks = tuple(
+            generate_talk_spurts(profile.audio, duration, silence_ratio, rng)
+        )
+    if not frames and not chunks:
+        raise ParameterError("a recording needs at least one medium")
+    return Recording(
+        name=name, duration=duration, frames=frames, chunks=chunks
+    )
+
+
+def make_recordings(
+    profile: HardwareProfile,
+    count: int,
+    duration: float,
+    seed: int,
+    video: bool = True,
+    audio: bool = False,
+    silence_ratio: float = 0.35,
+) -> List[Recording]:
+    """Generate *count* same-length clips with distinct sources."""
+    if count < 1:
+        raise ParameterError(f"count must be >= 1, got {count}")
+    rng = random.Random(seed)
+    return [
+        make_recording(
+            profile,
+            name=f"clip{i}",
+            duration=duration,
+            rng=rng,
+            video=video,
+            audio=audio,
+            silence_ratio=silence_ratio,
+        )
+        for i in range(count)
+    ]
+
+
+@dataclass(frozen=True)
+class EditScript:
+    """A reproducible sequence of editing operations.
+
+    Each step is ``(operation, args)`` where operation is one of
+    ``insert``, ``delete``, ``substring``, ``concate`` and args are the
+    operation-specific positional parameters in seconds.
+    """
+
+    steps: Tuple[Tuple[str, Tuple[float, ...]], ...]
+
+
+def random_edit_script(
+    rope_duration: float,
+    clip_duration: float,
+    operation_count: int,
+    rng: random.Random,
+) -> EditScript:
+    """A churn script for fragmentation/seam experiments.
+
+    Operations alternate inserts (of intervals from a donor clip) and
+    deletes, keeping positions legal for a rope that starts at
+    *rope_duration* seconds and is tracked through each operation.
+    """
+    if operation_count < 1:
+        raise ParameterError(
+            f"operation_count must be >= 1, got {operation_count}"
+        )
+    steps: List[Tuple[str, Tuple[float, ...]]] = []
+    current = rope_duration
+    for i in range(operation_count):
+        if i % 2 == 0:
+            # Insert 1-3 seconds of donor material somewhere inside.
+            length = min(clip_duration, rng.uniform(1.0, 3.0))
+            position = rng.uniform(0.0, max(0.1, current - 0.1))
+            start = rng.uniform(0.0, max(0.0, clip_duration - length))
+            steps.append(("insert", (position, start, length)))
+            current += length
+        else:
+            # Delete up to 2 seconds, never emptying the rope.
+            length = min(rng.uniform(0.5, 2.0), current / 2.0)
+            start = rng.uniform(0.0, current - length)
+            steps.append(("delete", (start, length)))
+            current -= length
+    return EditScript(steps=tuple(steps))

@@ -1,0 +1,100 @@
+"""Multi-client request mixes for admission-control experiments (§3.4).
+
+A *mix* describes the population of concurrent requests a server faces:
+how many clients, what media each plays, and when each arrives (in service
+rounds).  The E2/E3/E12 experiments sweep mixes against the analytic
+capacity bound n_max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["ClientSpec", "RequestMix", "uniform_mix", "staggered_mix"]
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """One client in a mix."""
+
+    name: str
+    arrival_round: int
+    duration: float
+    video: bool = True
+    audio: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arrival_round < 0:
+            raise ParameterError(
+                f"arrival_round must be >= 0, got {self.arrival_round}"
+            )
+        if self.duration <= 0:
+            raise ParameterError(
+                f"duration must be positive, got {self.duration}"
+            )
+        if not (self.video or self.audio):
+            raise ParameterError("a client needs at least one medium")
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """A named population of clients."""
+
+    name: str
+    clients: Tuple[ClientSpec, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of clients."""
+        return len(self.clients)
+
+    def initial(self) -> List[ClientSpec]:
+        """Clients present from round 0."""
+        return [c for c in self.clients if c.arrival_round == 0]
+
+    def later(self) -> List[ClientSpec]:
+        """Clients arriving after round 0, in arrival order."""
+        return sorted(
+            (c for c in self.clients if c.arrival_round > 0),
+            key=lambda c: c.arrival_round,
+        )
+
+
+def uniform_mix(
+    count: int, duration: float, name: str = "uniform"
+) -> RequestMix:
+    """*count* identical video clients all present at round 0."""
+    if count < 1:
+        raise ParameterError(f"count must be >= 1, got {count}")
+    clients = tuple(
+        ClientSpec(name=f"client{i}", arrival_round=0, duration=duration)
+        for i in range(count)
+    )
+    return RequestMix(name=name, clients=clients)
+
+
+def staggered_mix(
+    count: int,
+    duration: float,
+    rounds_between: int,
+    name: str = "staggered",
+) -> RequestMix:
+    """Clients arriving one every *rounds_between* rounds (E3's shape)."""
+    if count < 1:
+        raise ParameterError(f"count must be >= 1, got {count}")
+    if rounds_between < 1:
+        raise ParameterError(
+            f"rounds_between must be >= 1, got {rounds_between}"
+        )
+    clients = tuple(
+        ClientSpec(
+            name=f"client{i}",
+            arrival_round=i * rounds_between,
+            duration=duration,
+        )
+        for i in range(count)
+    )
+    return RequestMix(name=name, clients=clients)

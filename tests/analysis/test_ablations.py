@@ -1,0 +1,61 @@
+"""Shape tests for the design-choice ablations."""
+
+import pytest
+
+from repro.analysis import (
+    ablate_block_size,
+    ablate_copy_budget,
+    ablate_granularity,
+)
+
+
+class TestGranularityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablate_granularity()
+
+    def test_bound_monotone_in_eta(self, result):
+        bounds = [result.series[eta]["bound"] for eta in (1, 2, 4, 8)]
+        assert bounds == sorted(bounds)
+
+    def test_capacity_never_decreases_with_eta(self, result):
+        capacities = [result.series[eta]["n_max"] for eta in (1, 2, 4, 8)]
+        assert capacities == sorted(capacities)
+
+
+class TestCopyBudgetAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablate_copy_budget()
+
+    def test_window_monotone_in_budget(self, result):
+        windows = [result.series[b] for b in (1, 2, 4, 8, 16)]
+        assert windows == sorted(windows)
+
+    def test_unbounded_budget_is_widest(self, result):
+        bounded = max(result.series[b] for b in (1, 2, 4, 8, 16))
+        assert result.series[0] >= bounded
+
+    def test_window_loss_inversely_proportional_to_budget(self, result):
+        """The window given up equals l_seek_max/(2·C_b): doubling the
+        budget halves the sacrifice."""
+        unbounded = result.series[0]
+        loss_1 = unbounded - result.series[1]
+        loss_2 = unbounded - result.series[2]
+        loss_4 = unbounded - result.series[4]
+        assert loss_1 == pytest.approx(2 * loss_2, rel=1e-6)
+        assert loss_2 == pytest.approx(2 * loss_4, rel=1e-6)
+
+
+class TestBlockSizeAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablate_block_size()
+
+    def test_throughput_monotone_in_block_size(self, result):
+        throughputs = [result.series[s] for s in (16, 32, 64, 128)]
+        assert throughputs == sorted(throughputs)
+
+    def test_waste_reported(self, result):
+        waste = {row[0]: row[4] for row in result.table.rows}
+        assert waste[128] > waste[16]  # bigger slots waste more on audio

@@ -1,0 +1,21 @@
+"""Shape tests for E21 (concurrent storage + retrieval)."""
+
+import pytest
+
+from repro.analysis import e21_record_and_play
+
+
+class TestE21RecordAndPlay:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return e21_record_and_play()
+
+    def test_sane_mixes_glitch_free(self, result):
+        for label, misses in result.misses_by_load.items():
+            if "overload" not in label:
+                assert misses == 0, f"{label} missed {misses}"
+
+    def test_overload_breaks_down(self, result):
+        assert result.misses_by_load[
+            "overload: 1-block staging, 3 play"
+        ] > 0

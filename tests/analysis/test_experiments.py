@@ -1,0 +1,141 @@
+"""Shape tests for the experiment drivers (DESIGN.md §3 criteria).
+
+These are the reproduction's acceptance tests: each experiment must show
+the qualitative shape the paper reports — who wins, where the crossovers
+and capacity limits fall — without asserting exact magnitudes.
+"""
+
+import pytest
+
+from repro.analysis import experiments as exp
+
+
+@pytest.fixture(scope="module")
+def e1():
+    return exp.e1_architectures()
+
+
+@pytest.fixture(scope="module")
+def e2():
+    return exp.e2_k_vs_n()
+
+
+class TestE1Architectures:
+    def test_bound_ordering(self, e1):
+        """Sequential < pipelined <= concurrent tolerance."""
+        assert e1.bounds["sequential"] < e1.bounds["pipelined"]
+        assert e1.bounds["pipelined"] <= e1.bounds["concurrent(p=2)"]
+
+    def test_analysis_is_safe(self, e1):
+        """No misses inside the analytic region, for any architecture."""
+        assert all(m == 0 for m in e1.misses_inside.values())
+
+    def test_single_head_fails_at_widest_gap(self, e1):
+        assert e1.misses_outside["sequential"] > 0
+        assert e1.misses_outside["pipelined"] > 0
+
+
+class TestE2KvsN(object):
+    def test_k_monotone_and_divergent(self, e2):
+        """Fig. 4's shape: k grows with n, steeply near capacity."""
+        ks = e2.series_transition.ys
+        assert ks == sorted(ks)
+        if len(ks) >= 3:
+            first_step = ks[1] - ks[0]
+            last_step = ks[-1] - ks[-2]
+            assert last_step > first_step  # hyperbolic steepening
+
+    def test_refusal_exactly_past_n_max(self, e2):
+        assert e2.n_max >= 1
+        assert len(e2.series_steady) == e2.n_max
+
+    def test_transition_k_at_least_steady_k(self, e2):
+        for steady, transition in zip(
+            e2.series_steady.ys, e2.series_transition.ys
+        ):
+            assert transition >= steady
+
+
+class TestE3Transition:
+    def test_staged_walk_is_glitch_free(self):
+        result = exp.e3_transition()
+        assert result.staged_misses == 0
+        assert result.naive_misses > 0
+
+
+class TestE4Allocation:
+    def test_random_needs_buffering_constrained_does_not(self):
+        result = exp.e4_allocation()
+        assert result.read_ahead_needed["constrained"] == 0
+        assert result.read_ahead_needed["contiguous"] == 0
+        assert result.read_ahead_needed["random"] > 0
+        assert result.max_gaps["random"] > result.max_gaps["constrained"]
+
+
+class TestE5Buffering:
+    def test_counts_and_h(self):
+        result = exp.e5_buffering()
+        rows = {(r[0], r[1]): (r[2], r[3]) for r in result.table.rows}
+        assert rows[("sequential", 4)] == (4, 4)
+        assert rows[("pipelined", 4)] == (4, 8)
+        assert rows[("concurrent(p=4)", 4)] == (16, 16)
+        assert result.switch_read_ahead >= 1
+        assert result.accumulation_rate > 0  # slow motion accumulates
+
+
+class TestE6MixedMedia:
+    def test_heterogeneous_tolerates_more_scattering(self):
+        result = exp.e6_mixed_media()
+        assert result.heterogeneous_bound > result.homogeneous_bound
+
+
+class TestE7HDTV:
+    def test_matches_paper_figures(self):
+        result = exp.e7_hdtv()
+        # ~0.32 Gbit/s array throughput, ~7.8x short of HDTV.
+        assert result.array_throughput == pytest.approx(0.32e9, rel=0.05)
+        assert result.shortfall == pytest.approx(7.8, rel=0.1)
+
+
+class TestE8EditCopy:
+    def test_copies_within_paper_bounds(self):
+        result = exp.e8_edit_copy()
+        sparse_bound, dense_bound = result.bounds["sparse"]
+        assert 1 <= result.copies["sparse"] <= sparse_bound
+        assert 1 <= result.copies["dense"] <= dense_bound
+        assert dense_bound >= 2 * sparse_bound - 1
+
+
+class TestE9RopeOps:
+    def test_editing_copies_no_media(self):
+        result = exp.e9_rope_ops()
+        assert all(c == 0 for c in result.media_blocks_copied.values())
+
+
+class TestE10Silence:
+    def test_saving_grows_with_silence(self):
+        result = exp.e10_silence()
+        savings = result.series.ys
+        assert savings == sorted(savings)
+        assert savings[0] == pytest.approx(0.0, abs=0.05)
+        assert savings[-1] > 0.4
+        # Duration preserved in every row.
+        assert all(row[4] for row in result.table.rows)
+
+
+class TestE11Symbols:
+    def test_hdtv_infeasible_testbed_feasible(self):
+        result = exp.e11_symbols()
+        by_profile = {row[0]: row for row in result.table.rows}
+        assert by_profile["testbed-1991"][6] is True
+        assert by_profile["hdtv-2.5gbit"][6] is False
+
+
+class TestE12Prototype:
+    def test_session_continuous_and_rejects_at_capacity(self):
+        result = exp.e12_prototype()
+        assert result.all_continuous
+        assert result.rejected_at >= 2
+        # Startup latency grows with each additional admitted request.
+        latencies = result.startup_series.ys
+        assert latencies == sorted(latencies)

@@ -1,0 +1,68 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.analysis.report import Table, format_cell, render_series
+from repro.errors import ParameterError
+from repro.sim.metrics import SweepSeries
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_booleans(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_floats(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(3.14159) == "3.142"
+        assert "e" in format_cell(1.5e9)
+        assert "e" in format_cell(1.5e-7)
+
+    def test_ints_and_strings(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 22222)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2]
+        # All data lines share the header's column positions.
+        assert lines[4].index("1") == lines[5].index("2")
+
+    def test_row_width_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ParameterError):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        table = Table("Empty", ["x"])
+        assert "Empty" in table.render()
+
+    def test_str_equals_render(self):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+
+class TestRenderSeries:
+    def test_bars_scale_to_max(self):
+        series = SweepSeries("s", "x", "y")
+        series.add(1, 10.0)
+        series.add(2, 5.0)
+        text = render_series(series, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_empty_series(self):
+        series = SweepSeries("s", "x", "y")
+        assert "empty" in render_series(series)

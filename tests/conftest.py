@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.config import TESTBED_1991
+from repro.core.symbols import video_block_model
+from repro.disk import FreeMap, build_drive
+from repro.fs import MultimediaStorageManager
+from repro.rope import MultimediaRopeServer
+
+
+@pytest.fixture
+def profile():
+    """The standard §5 testbed profile."""
+    return TESTBED_1991
+
+
+@pytest.fixture
+def drive():
+    """A fresh testbed drive."""
+    return build_drive()
+
+
+@pytest.fixture
+def freemap(drive):
+    """A fresh free map matching the drive."""
+    return FreeMap(drive.slots)
+
+
+@pytest.fixture
+def disk_params(drive):
+    """Analytic parameters derived from the testbed drive."""
+    return drive.parameters()
+
+
+@pytest.fixture
+def video_block(profile):
+    """The standard 4-frame video block model."""
+    return video_block_model(profile.video, 4)
+
+
+@pytest.fixture
+def msm(profile, drive):
+    """A storage manager on a fresh drive."""
+    return MultimediaStorageManager(
+        drive,
+        profile.video,
+        profile.audio,
+        profile.video_device,
+        profile.audio_device,
+    )
+
+
+@pytest.fixture
+def mrs(msm):
+    """A rope server over the fresh storage manager."""
+    return MultimediaRopeServer(msm)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random source."""
+    return random.Random(12345)

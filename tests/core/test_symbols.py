@@ -1,0 +1,158 @@
+"""Unit tests for the Table-1 symbol model."""
+
+import math
+
+import pytest
+
+from repro.core.symbols import (
+    AudioStream,
+    BlockModel,
+    DiskParameters,
+    DisplayDeviceParameters,
+    VideoStream,
+    audio_block_model,
+    video_block_model,
+)
+from repro.errors import ParameterError
+
+
+class TestVideoStream:
+    def test_bit_rate(self):
+        stream = VideoStream(frame_rate=30.0, frame_size=65536.0)
+        assert stream.bit_rate == pytest.approx(30.0 * 65536.0)
+
+    def test_unit_duration(self):
+        stream = VideoStream(frame_rate=25.0, frame_size=1000.0)
+        assert stream.unit_duration == pytest.approx(0.04)
+
+    @pytest.mark.parametrize("rate,size", [(0, 100), (-1, 100), (30, 0), (30, -5)])
+    def test_rejects_non_positive(self, rate, size):
+        with pytest.raises(ParameterError):
+            VideoStream(frame_rate=rate, frame_size=size)
+
+
+class TestAudioStream:
+    def test_bit_rate(self):
+        stream = AudioStream(sample_rate=8000.0, sample_size=8.0)
+        assert stream.bit_rate == pytest.approx(64000.0)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ParameterError):
+            AudioStream(sample_rate=0.0, sample_size=8.0)
+
+
+class TestDiskParameters:
+    def test_transfer_time(self):
+        disk = DiskParameters(
+            transfer_rate=1e6, seek_max=0.03, seek_avg=0.02, seek_track=0.005
+        )
+        assert disk.transfer_time(1e6) == pytest.approx(1.0)
+        assert disk.transfer_time(0) == 0.0
+
+    def test_access_time_adds_gap(self):
+        disk = DiskParameters(
+            transfer_rate=1e6, seek_max=0.03, seek_avg=0.02, seek_track=0.005
+        )
+        assert disk.access_time(5e5, 0.01) == pytest.approx(0.51)
+
+    def test_rejects_avg_above_max(self):
+        with pytest.raises(ParameterError):
+            DiskParameters(
+                transfer_rate=1e6, seek_max=0.01, seek_avg=0.02,
+                seek_track=0.005,
+            )
+
+    def test_rejects_track_above_avg(self):
+        with pytest.raises(ParameterError):
+            DiskParameters(
+                transfer_rate=1e6, seek_max=0.03, seek_avg=0.01,
+                seek_track=0.02,
+            )
+
+    def test_rejects_negative_transfer(self):
+        with pytest.raises(ParameterError):
+            DiskParameters(
+                transfer_rate=-1, seek_max=0.03, seek_avg=0.02,
+                seek_track=0.005,
+            )
+
+    def test_unconstrained_buffer_bound(self):
+        disk = DiskParameters(
+            transfer_rate=1e6, seek_max=0.03, seek_avg=0.02,
+            seek_track=0.005, cylinders=1000,
+        )
+        # l_track * n_cyl / target = 0.005*1000/0.02 = 250
+        assert disk.unconstrained_buffer_bound(0.02) == 250
+
+    def test_rejects_bad_head_count(self):
+        with pytest.raises(ParameterError):
+            DiskParameters(
+                transfer_rate=1e6, seek_max=0.03, seek_avg=0.02,
+                seek_track=0.005, heads=0,
+            )
+
+
+class TestDisplayDeviceParameters:
+    def test_defaults(self):
+        device = DisplayDeviceParameters(display_rate=1e7)
+        assert device.buffer_frames == 2
+
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(ParameterError):
+            DisplayDeviceParameters(display_rate=1e7, buffer_frames=0)
+
+
+class TestBlockModel:
+    def test_block_bits(self):
+        block = BlockModel(unit_rate=30.0, unit_size=1000.0, granularity=4)
+        assert block.block_bits == pytest.approx(4000.0)
+
+    def test_playback_duration_is_eta_over_rate(self):
+        block = BlockModel(unit_rate=30.0, unit_size=1000.0, granularity=4)
+        assert block.playback_duration == pytest.approx(4 / 30)
+
+    def test_blocks_per_second_inverse_of_duration(self):
+        block = BlockModel(unit_rate=30.0, unit_size=1000.0, granularity=4)
+        assert block.blocks_per_second * block.playback_duration == (
+            pytest.approx(1.0)
+        )
+
+    def test_read_time_matches_paper_formula(self):
+        disk = DiskParameters(
+            transfer_rate=1e6, seek_max=0.03, seek_avg=0.02, seek_track=0.005
+        )
+        block = BlockModel(unit_rate=30.0, unit_size=1000.0, granularity=4)
+        # l_ds + eta*s/R_dr
+        assert block.read_time(disk, 0.01) == pytest.approx(0.01 + 4000 / 1e6)
+
+    def test_display_time_matches_paper_formula(self):
+        device = DisplayDeviceParameters(display_rate=2e6)
+        block = BlockModel(unit_rate=30.0, unit_size=1000.0, granularity=4)
+        assert block.display_time(device) == pytest.approx(4000 / 2e6)
+
+    def test_with_granularity_changes_only_eta(self):
+        block = BlockModel(unit_rate=30.0, unit_size=1000.0, granularity=4)
+        bigger = block.with_granularity(8)
+        assert bigger.granularity == 8
+        assert bigger.unit_rate == block.unit_rate
+        assert bigger.unit_size == block.unit_size
+        assert block.granularity == 4  # original unchanged
+
+    def test_rejects_zero_granularity(self):
+        with pytest.raises(ParameterError):
+            BlockModel(unit_rate=30.0, unit_size=1000.0, granularity=0)
+
+
+class TestBuilders:
+    def test_video_block_model(self):
+        stream = VideoStream(frame_rate=30.0, frame_size=65536.0)
+        block = video_block_model(stream, 4)
+        assert block.unit_rate == 30.0
+        assert block.unit_size == 65536.0
+        assert block.granularity == 4
+
+    def test_audio_block_model(self):
+        stream = AudioStream(sample_rate=8000.0, sample_size=8.0)
+        block = audio_block_model(stream, 2048)
+        assert block.block_bits == pytest.approx(2048 * 8)
+        assert block.playback_duration == pytest.approx(2048 / 8000)

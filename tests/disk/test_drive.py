@@ -1,0 +1,127 @@
+"""Unit tests for the simulated drive."""
+
+import pytest
+
+from repro.disk import TESTBED_DRIVE, build_drive
+from repro.disk.drive import SimulatedDrive
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import LinearSeek, Rotation
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def drive():
+    return build_drive()
+
+
+class TestDerivedSizes:
+    def test_block_bits(self, drive):
+        assert drive.block_bits == 64 * 512 * 8
+
+    def test_slots_match_geometry(self, drive):
+        assert drive.slots == drive.geometry.slots(64)
+
+
+class TestTiming:
+    def test_transfer_time(self, drive):
+        assert drive.transfer_time(drive.transfer_rate) == pytest.approx(1.0)
+
+    def test_positioning_time_includes_rotation(self, drive):
+        same_cylinder = drive.positioning_time(5, 5)
+        assert same_cylinder == pytest.approx(
+            drive.rotation.average_latency
+        )
+
+    def test_positioning_grows_with_distance(self, drive):
+        near = drive.positioning_time(0, 10)
+        far = drive.positioning_time(0, 1000)
+        assert far > near
+
+    def test_access_gap_symmetric(self, drive):
+        assert drive.access_gap(10, 500) == pytest.approx(
+            drive.access_gap(500, 10)
+        )
+
+
+class TestStatefulAccess:
+    def test_read_moves_head(self, drive):
+        target = drive.slots - 1
+        drive.read_slot(target)
+        assert drive.head_cylinder == drive.cylinder_of(target)
+
+    def test_read_duration_decomposes(self, drive):
+        drive.park(0)
+        slot = drive.slots // 2
+        distance = drive.cylinder_of(slot)
+        expected = (
+            drive.seek_model.seek_time(distance)
+            + drive.rotation.average_latency
+            + drive.transfer_time(drive.block_bits)
+        )
+        assert drive.read_slot(slot) == pytest.approx(expected)
+
+    def test_partial_payload_cheaper(self, drive):
+        drive.park(0)
+        full = drive.read_slot(0)
+        drive.park(0)
+        partial = drive.read_slot(0, bits=drive.block_bits / 4)
+        assert partial < full
+
+    def test_write_timing_equals_read(self, drive):
+        drive.park(0)
+        read = drive.read_slot(100)
+        drive.park(0)
+        write = drive.write_slot(100)
+        assert write == pytest.approx(read)
+
+    def test_stats_accumulate(self, drive):
+        drive.stats.reset()
+        drive.read_slot(0)
+        drive.write_slot(drive.slots - 1)
+        assert drive.stats.reads == 1
+        assert drive.stats.writes == 1
+        assert drive.stats.operations == 2
+        assert drive.stats.busy_time > 0
+        assert drive.stats.seek_distance > 0
+
+    def test_slot_out_of_range(self, drive):
+        with pytest.raises(ParameterError):
+            drive.read_slot(drive.slots)
+
+    def test_park_out_of_range(self, drive):
+        with pytest.raises(ParameterError):
+            drive.park(drive.geometry.cylinders)
+
+
+class TestParameterDerivation:
+    def test_parameters_ordering(self, drive):
+        params = drive.parameters()
+        assert params.seek_track <= params.seek_avg <= params.seek_max
+        assert params.transfer_rate == drive.transfer_rate
+        assert params.cylinders == drive.geometry.cylinders
+
+    def test_seek_max_covers_every_observed_gap(self, drive):
+        params = drive.parameters()
+        worst = drive.positioning_time(0, drive.geometry.cylinders - 1)
+        assert worst <= params.seek_max + 1e-12
+
+    def test_randomized_rotation_requires_rng(self):
+        geometry = TESTBED_DRIVE.geometry()
+        with pytest.raises(ParameterError):
+            SimulatedDrive(
+                geometry=geometry,
+                seek_model=TESTBED_DRIVE.seek_model(),
+                rotation=Rotation(rpm=3600, randomized=True),
+                transfer_rate=1e7,
+                sectors_per_block=64,
+            )
+
+    def test_rejects_bad_transfer_rate(self):
+        with pytest.raises(ParameterError):
+            SimulatedDrive(
+                geometry=TESTBED_DRIVE.geometry(),
+                seek_model=TESTBED_DRIVE.seek_model(),
+                rotation=Rotation(rpm=3600),
+                transfer_rate=0,
+                sectors_per_block=64,
+            )

@@ -1,0 +1,124 @@
+"""Unit tests for seek-time and rotation models."""
+
+import random
+
+import pytest
+
+from repro.disk.seek import LinearSeek, Rotation, SqrtAffineSeek, TableSeek
+from repro.errors import ParameterError
+
+
+class TestLinearSeek:
+    def test_zero_distance_is_free(self):
+        model = LinearSeek(settle_time=0.003, slope=0.0001)
+        assert model.seek_time(0) == 0.0
+
+    def test_affine_form(self):
+        model = LinearSeek(settle_time=0.003, slope=0.0001)
+        assert model.seek_time(100) == pytest.approx(0.003 + 0.01)
+
+    def test_monotone(self):
+        model = LinearSeek(settle_time=0.003, slope=0.0001)
+        times = [model.seek_time(d) for d in range(0, 500, 37)]
+        assert times == sorted(times)
+
+    def test_inverse_consistency(self):
+        model = LinearSeek(settle_time=0.003, slope=0.0001)
+        for budget in (0.004, 0.01, 0.05):
+            d = model.max_distance_within(budget, cylinders=1000)
+            assert model.seek_time(d) <= budget
+            if d < 999:
+                assert model.seek_time(d + 1) > budget
+
+    def test_negative_budget(self):
+        model = LinearSeek(settle_time=0.003, slope=0.0001)
+        assert model.max_distance_within(-0.01, 1000) == -1
+
+    def test_budget_below_settle_gives_zero(self):
+        model = LinearSeek(settle_time=0.003, slope=0.0001)
+        assert model.max_distance_within(0.002, 1000) == 0
+
+    def test_rejects_negative_distance(self):
+        model = LinearSeek(settle_time=0.003, slope=0.0001)
+        with pytest.raises(ParameterError):
+            model.seek_time(-1)
+
+
+class TestSqrtAffineSeek:
+    def test_sqrt_form(self):
+        model = SqrtAffineSeek(settle_time=0.002, coefficient=0.001)
+        assert model.seek_time(100) == pytest.approx(0.002 + 0.01)
+
+    def test_short_seeks_relatively_expensive(self):
+        model = SqrtAffineSeek(settle_time=0.0, coefficient=0.001)
+        # Doubling distance less than doubles time.
+        assert model.seek_time(200) < 2 * model.seek_time(100)
+
+    def test_inverse_consistency(self):
+        model = SqrtAffineSeek(settle_time=0.002, coefficient=0.001)
+        for budget in (0.005, 0.02):
+            d = model.max_distance_within(budget, cylinders=2000)
+            assert model.seek_time(d) <= budget + 1e-12
+            if d < 1999:
+                assert model.seek_time(d + 1) > budget
+
+
+class TestTableSeek:
+    def test_interpolation(self):
+        model = TableSeek([(10, 0.010), (100, 0.019)])
+        assert model.seek_time(55) == pytest.approx(0.0145)
+
+    def test_below_first_point_anchors_to_zero(self):
+        model = TableSeek([(10, 0.010)])
+        assert model.seek_time(5) == pytest.approx(0.005)
+        assert model.seek_time(0) == 0.0
+
+    def test_extrapolation_beyond_last(self):
+        model = TableSeek([(10, 0.010), (100, 0.019)])
+        assert model.seek_time(190) == pytest.approx(0.028)
+
+    def test_generic_inverse_via_binary_search(self):
+        model = TableSeek([(10, 0.010), (100, 0.019), (1000, 0.030)])
+        d = model.max_distance_within(0.019, cylinders=1000)
+        assert model.seek_time(d) <= 0.019
+        assert d >= 100
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ParameterError):
+            TableSeek([(100, 0.02), (10, 0.01)])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ParameterError):
+            TableSeek([(10, 0.02), (100, 0.01)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            TableSeek([])
+
+
+class TestRotation:
+    def test_latency_values(self):
+        rotation = Rotation(rpm=3600.0)
+        assert rotation.revolution_time == pytest.approx(1 / 60)
+        assert rotation.average_latency == pytest.approx(1 / 120)
+        assert rotation.max_latency == pytest.approx(1 / 60)
+
+    def test_deterministic_latency(self):
+        rotation = Rotation(rpm=3600.0, randomized=False)
+        assert rotation.latency() == rotation.average_latency
+
+    def test_randomized_needs_rng(self):
+        rotation = Rotation(rpm=3600.0, randomized=True)
+        with pytest.raises(ParameterError):
+            rotation.latency()
+
+    def test_randomized_within_revolution(self):
+        rotation = Rotation(rpm=3600.0, randomized=True)
+        rng = random.Random(1)
+        for _ in range(100):
+            latency = rotation.latency(rng)
+            assert 0 <= latency < rotation.revolution_time
+
+    def test_rejects_zero_rpm(self):
+        with pytest.raises(ParameterError):
+            Rotation(rpm=0.0)

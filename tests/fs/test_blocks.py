@@ -1,0 +1,97 @@
+"""Unit tests for media blocks (homogeneous and heterogeneous)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.fs.blocks import AudioPayload, BlockKind, MediaBlock
+
+
+def audio_payload(samples=100):
+    return AudioPayload(
+        start_sample=0, sample_count=samples, average_energy=0.5,
+        bits=samples * 8,
+    )
+
+
+class TestAudioPayload:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AudioPayload(
+                start_sample=-1, sample_count=1, average_energy=0.5, bits=8
+            )
+        with pytest.raises(ParameterError):
+            AudioPayload(
+                start_sample=0, sample_count=0, average_energy=0.5, bits=8
+            )
+        with pytest.raises(ParameterError):
+            AudioPayload(
+                start_sample=0, sample_count=1, average_energy=1.5, bits=8
+            )
+
+
+class TestHomogeneousBlocks:
+    def test_video_block(self):
+        block = MediaBlock(
+            kind=BlockKind.VIDEO,
+            video_tokens=("a", "b"),
+            video_bits=200.0,
+        )
+        assert block.frame_count == 2
+        assert block.sample_count == 0
+        assert block.payload_bits == 200.0
+
+    def test_audio_block(self):
+        block = MediaBlock(kind=BlockKind.AUDIO, audio=audio_payload(64))
+        assert block.sample_count == 64
+        assert block.frame_count == 0
+        assert block.payload_bits == 64 * 8
+
+    def test_video_block_requires_frames(self):
+        with pytest.raises(ParameterError):
+            MediaBlock(kind=BlockKind.VIDEO, video_tokens=())
+
+    def test_video_block_rejects_audio(self):
+        with pytest.raises(ParameterError):
+            MediaBlock(
+                kind=BlockKind.VIDEO,
+                video_tokens=("a",),
+                video_bits=100.0,
+                audio=audio_payload(),
+            )
+
+    def test_audio_block_requires_payload(self):
+        with pytest.raises(ParameterError):
+            MediaBlock(kind=BlockKind.AUDIO)
+
+
+class TestHeterogeneousBlocks:
+    def test_mixed_block_combines_bits(self):
+        block = MediaBlock(
+            kind=BlockKind.MIXED,
+            video_tokens=("a", "b", "c"),
+            video_bits=300.0,
+            audio=audio_payload(50),
+        )
+        assert block.payload_bits == 300.0 + 400.0
+        assert block.frame_count == 3
+        assert block.sample_count == 50
+
+    def test_mixed_requires_both(self):
+        with pytest.raises(ParameterError):
+            MediaBlock(
+                kind=BlockKind.MIXED,
+                video_tokens=("a",),
+                video_bits=100.0,
+            )
+        with pytest.raises(ParameterError):
+            MediaBlock(kind=BlockKind.MIXED, audio=audio_payload())
+
+
+class TestOtherKinds:
+    def test_text_block_allowed_empty(self):
+        block = MediaBlock(kind=BlockKind.TEXT)
+        assert block.payload_bits == 0.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            MediaBlock(kind=BlockKind.TEXT, video_bits=-1.0)

@@ -1,0 +1,85 @@
+"""Unit tests for interest-based garbage collection."""
+
+import pytest
+
+from repro.errors import GarbageCollectionError
+from repro.fs.gc import GarbageCollector, InterestRegistry
+
+
+class TestInterestRegistry:
+    def test_register_and_count(self):
+        registry = InterestRegistry()
+        registry.register("R1", "S1")
+        registry.register("R2", "S1")
+        assert registry.interest_count("S1") == 2
+        assert registry.is_referenced("S1")
+        assert registry.holders("S1") == {"R1", "R2"}
+
+    def test_register_idempotent(self):
+        registry = InterestRegistry()
+        registry.register("R1", "S1")
+        registry.register("R1", "S1")
+        assert registry.interest_count("S1") == 1
+
+    def test_drop(self):
+        registry = InterestRegistry()
+        registry.register("R1", "S1")
+        registry.drop("R1", "S1")
+        assert not registry.is_referenced("S1")
+
+    def test_drop_without_interest_raises(self):
+        registry = InterestRegistry()
+        with pytest.raises(GarbageCollectionError):
+            registry.drop("R1", "S1")
+
+    def test_drop_rope_releases_all(self):
+        registry = InterestRegistry()
+        registry.register("R1", "S1")
+        registry.register("R1", "S2")
+        registry.register("R2", "S2")
+        affected = registry.drop_rope("R1")
+        assert affected == ["S1", "S2"]
+        assert not registry.is_referenced("S1")
+        assert registry.is_referenced("S2")  # R2 still holds it
+
+    def test_sync_rope_adds_and_removes(self):
+        registry = InterestRegistry()
+        registry.register("R1", "S1")
+        registry.register("R1", "S2")
+        registry.sync_rope("R1", {"S2", "S3"})
+        assert not registry.is_referenced("S1")
+        assert registry.is_referenced("S2")
+        assert registry.is_referenced("S3")
+        assert registry.strands_of("R1") == {"S2", "S3"}
+
+    def test_sync_rope_from_scratch(self):
+        registry = InterestRegistry()
+        registry.sync_rope("R1", {"S1"})
+        assert registry.is_referenced("S1")
+
+
+class TestGarbageCollector:
+    def test_collects_only_unreferenced(self):
+        registry = InterestRegistry()
+        registry.register("R1", "S1")
+        deleted = []
+        collector = GarbageCollector(registry, deleted.append)
+        victims = collector.collect(["S1", "S2", "S3"])
+        assert victims == ["S2", "S3"]
+        assert deleted == ["S2", "S3"]
+        assert collector.collected_total == 2
+
+    def test_nothing_to_collect(self):
+        registry = InterestRegistry()
+        registry.register("R1", "S1")
+        collector = GarbageCollector(registry, lambda s: None)
+        assert collector.collect(["S1"]) == []
+
+    def test_collection_after_interest_drop(self):
+        registry = InterestRegistry()
+        registry.register("R1", "S1")
+        deleted = []
+        collector = GarbageCollector(registry, deleted.append)
+        assert collector.collect(["S1"]) == []
+        registry.drop_rope("R1")
+        assert collector.collect(["S1"]) == ["S1"]

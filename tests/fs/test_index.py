@@ -1,0 +1,155 @@
+"""Unit tests for the 3-level strand index (Figs. 5-6)."""
+
+import pytest
+
+from repro.errors import IndexCorruptionError, ParameterError
+from repro.fs.index import (
+    PRIMARY_ENTRY_BITS,
+    SECONDARY_ENTRY_BITS,
+    PrimaryEntry,
+    StrandIndex,
+    fanout_for,
+)
+
+
+def make_index(primary_fanout=4, secondary_fanout=3):
+    return StrandIndex(
+        frame_rate=30.0,
+        primary_fanout=primary_fanout,
+        secondary_fanout=secondary_fanout,
+    )
+
+
+class TestFanout:
+    def test_entry_sizes_match_fig6(self):
+        # Primary: sector + sectorCount; secondary: 4 fields.
+        assert PRIMARY_ENTRY_BITS == 64
+        assert SECONDARY_ENTRY_BITS == 128
+
+    def test_fanout_computation(self):
+        assert fanout_for(32 * 1024 * 8, PRIMARY_ENTRY_BITS) == 4096
+        assert fanout_for(32 * 1024 * 8, SECONDARY_ENTRY_BITS) == 2048
+
+    def test_too_small_block_rejected(self):
+        with pytest.raises(ParameterError):
+            fanout_for(32, 64)
+
+
+class TestAppendLookup:
+    def test_roundtrip(self):
+        index = make_index()
+        entries = [PrimaryEntry(sector=i * 64, sector_count=64) for i in range(10)]
+        for i, entry in enumerate(entries):
+            assert index.append(entry, units=4) == i
+        for i, entry in enumerate(entries):
+            assert index.lookup(i) == entry
+
+    def test_null_silence_entries(self):
+        index = make_index()
+        index.append(PrimaryEntry(sector=0, sector_count=64), units=4)
+        index.append(None, units=4)  # silence delay holder
+        assert index.lookup(0) is not None
+        assert index.lookup(1) is None
+
+    def test_block_count_and_units(self):
+        index = make_index()
+        for _ in range(7):
+            index.append(PrimaryEntry(sector=0, sector_count=1), units=4)
+        assert index.block_count == 7
+        assert index.header.frame_count == 28
+
+    def test_lookup_out_of_range(self):
+        index = make_index()
+        index.append(PrimaryEntry(sector=0, sector_count=1))
+        with pytest.raises(ParameterError):
+            index.lookup(1)
+        with pytest.raises(ParameterError):
+            index.lookup(-1)
+
+    def test_iteration_order(self):
+        index = make_index(primary_fanout=2)
+        entries = [
+            PrimaryEntry(sector=i, sector_count=1) if i % 2 == 0 else None
+            for i in range(5)
+        ]
+        for entry in entries:
+            index.append(entry)
+        assert list(index) == entries
+
+
+class TestMultiLevelGrowth:
+    def test_primary_blocks_fill_then_split(self):
+        index = make_index(primary_fanout=4)
+        for i in range(9):
+            index.append(PrimaryEntry(sector=i, sector_count=1))
+        assert len(index.primaries) == 3
+        assert len(index.primaries[0].entries) == 4
+        assert len(index.primaries[2].entries) == 1
+
+    def test_secondary_blocks_grow(self):
+        # fanout 2x2: 4 primaries per secondary pair.
+        index = make_index(primary_fanout=2, secondary_fanout=2)
+        for i in range(10):  # 5 primaries -> 3 secondaries
+            index.append(PrimaryEntry(sector=i, sector_count=1))
+        assert len(index.primaries) == 5
+        assert len(index.secondaries) == 3
+        assert index.header.secondary_count == 3
+
+    def test_large_strand_constant_time_lookup(self):
+        index = make_index(primary_fanout=8, secondary_fanout=8)
+        for i in range(1000):
+            index.append(PrimaryEntry(sector=i, sector_count=1))
+        assert index.lookup(999).sector == 999
+        assert index.lookup(123).sector == 123
+
+
+class TestSlotAssignment:
+    def test_assign_and_list(self):
+        index = make_index(primary_fanout=2, secondary_fanout=2)
+        for i in range(5):
+            index.append(PrimaryEntry(sector=i, sector_count=1))
+        count = index.index_block_count()
+        assert count == 1 + len(index.secondaries) + len(index.primaries)
+        slots = list(range(100, 100 + count))
+        index.assign_slots(slots)
+        assert index.header.slot == 100
+        assert sorted(index.assigned_slots()) == slots
+        # Secondary entries now point at primary slots.
+        for secondary in index.secondaries:
+            for entry in secondary.entries:
+                assert entry.sector >= 100
+
+    def test_wrong_slot_count_rejected(self):
+        index = make_index()
+        index.append(PrimaryEntry(sector=0, sector_count=1))
+        with pytest.raises(ParameterError):
+            index.assign_slots([1, 2, 3, 4, 5, 6, 7])
+
+
+class TestVerification:
+    def test_fresh_index_verifies(self):
+        index = make_index(primary_fanout=3, secondary_fanout=2)
+        for i in range(11):
+            index.append(PrimaryEntry(sector=i, sector_count=1))
+        index.verify()
+
+    def test_detects_header_mismatch(self):
+        index = make_index()
+        index.append(PrimaryEntry(sector=0, sector_count=1))
+        index.header.secondary_slots.append(None)  # corrupt
+        with pytest.raises(IndexCorruptionError):
+            index.verify()
+
+    def test_detects_overfilled_primary(self):
+        index = make_index(primary_fanout=2)
+        index.append(PrimaryEntry(sector=0, sector_count=1))
+        index.primaries[0].entries.append(None)
+        index.primaries[0].entries.append(None)
+        with pytest.raises(IndexCorruptionError):
+            index.primaries[0].append(None)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ParameterError):
+            StrandIndex(frame_rate=0, primary_fanout=4, secondary_fanout=4)
+        with pytest.raises(ParameterError):
+            StrandIndex(frame_rate=30, primary_fanout=0, secondary_fanout=4)

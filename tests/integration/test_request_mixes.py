@@ -1,0 +1,76 @@
+"""Integration: client mixes driving staggered admissions end to end."""
+
+import pytest
+
+from repro.errors import AdmissionRejected
+from repro.media.frames import frames_for_duration
+from repro.rope import Media
+from repro.service import PlaybackSession
+from repro.workload import staggered_mix, uniform_mix
+
+
+@pytest.fixture
+def catalogue(mrs, profile):
+    frames = frames_for_duration(profile.video, 8.0, source="mix")
+    request_id, rope_id = mrs.record("studio", frames=frames)
+    mrs.stop(request_id)
+    return rope_id
+
+
+class TestUniformMixPlayback:
+    def test_uniform_mix_within_capacity_is_continuous(
+        self, mrs, catalogue
+    ):
+        mix = uniform_mix(2, duration=8.0)
+        request_ids = [
+            mrs.play("studio", catalogue, media=Media.VIDEO)
+            for _client in mix.initial()
+        ]
+        result = PlaybackSession(mrs).run(request_ids)
+        assert result.all_continuous
+
+    def test_oversized_uniform_mix_partially_admitted(
+        self, mrs, catalogue
+    ):
+        mix = uniform_mix(12, duration=8.0)
+        admitted = []
+        rejected = 0
+        for _client in mix.initial():
+            try:
+                admitted.append(
+                    mrs.play("studio", catalogue, media=Media.VIDEO)
+                )
+            except AdmissionRejected:
+                rejected += 1
+        assert admitted and rejected
+        assert PlaybackSession(mrs).run(admitted).all_continuous
+
+
+class TestStaggeredMixPlayback:
+    def test_staggered_arrivals_via_admissions(self, mrs, catalogue):
+        mix = staggered_mix(3, duration=8.0, rounds_between=4)
+        initial = [
+            mrs.play("studio", catalogue, media=Media.VIDEO)
+            for _client in mix.initial()
+        ]
+        later = []
+        for client in mix.later():
+            try:
+                later.append(
+                    (
+                        client.arrival_round,
+                        mrs.play("studio", catalogue, media=Media.VIDEO),
+                    )
+                )
+            except AdmissionRejected:
+                break
+        session = PlaybackSession(mrs)
+        result = session.run(initial, admissions=later)
+        assert result.all_continuous
+        # Later arrivals start later.
+        if later:
+            first_metrics = result.metrics[initial[0]]
+            late_metrics = result.metrics[later[-1][1]]
+            assert late_metrics.startup_latency > (
+                first_metrics.startup_latency
+            )

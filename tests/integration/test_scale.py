@@ -1,0 +1,74 @@
+"""Scale tests: long recordings exercising multi-block indices for real."""
+
+import pytest
+
+from repro.media.frames import frames_for_duration
+from repro.rope import Media
+from repro.service import PlaybackSession
+
+
+class TestLongRecording:
+    @pytest.fixture(scope="class")
+    def long_setup(self):
+        """A ~9.5-minute recording: 4300 blocks spill the primary index."""
+        from repro.config import TESTBED_1991
+        from repro.disk import build_drive
+        from repro.fs import MultimediaStorageManager
+        from repro.rope import MultimediaRopeServer
+
+        profile = TESTBED_1991
+        msm = MultimediaStorageManager(
+            build_drive(), profile.video, profile.audio,
+            profile.video_device, profile.audio_device,
+        )
+        mrs = MultimediaRopeServer(msm)
+        seconds = 4300 * 4 / 30.0  # 4300 blocks at 4 frames/block
+        frames = frames_for_duration(profile.video, seconds, source="long")
+        request_id, rope_id = mrs.record("u", frames=frames)
+        mrs.stop(request_id)
+        return msm, mrs, rope_id, frames
+
+    def test_index_spills_to_multiple_primaries(self, long_setup):
+        msm, mrs, rope_id, frames = long_setup
+        strand_id = next(iter(mrs.get_rope(rope_id).referenced_strands()))
+        strand = msm.get_strand(strand_id)
+        assert strand.block_count == 4300
+        assert len(strand.index.primaries) == 2  # fanout 4096
+        assert len(strand.index.secondaries) == 1
+        strand.verify_against_index()
+
+    def test_random_access_via_index(self, long_setup):
+        msm, mrs, rope_id, frames = long_setup
+        strand_id = next(iter(mrs.get_rope(rope_id).referenced_strands()))
+        strand = msm.get_strand(strand_id)
+        for block_number in (0, 4095, 4096, 4299):
+            entry = strand.index.lookup(block_number)
+            assert entry.sector == (
+                strand.slot_of(block_number) * strand.sectors_per_block
+            )
+
+    def test_placement_still_bounded_at_scale(self, long_setup):
+        msm, mrs, rope_id, frames = long_setup
+        strand_id = next(iter(mrs.get_rope(rope_id).referenced_strands()))
+        strand = msm.get_strand(strand_id)
+        slots = strand.slots()
+        policy = msm.policies.video
+        for a, b in zip(slots, slots[1:]):
+            gap = msm.drive.access_gap(a, b)
+            assert gap <= policy.scattering_upper + 1e-12
+
+    def test_partial_interval_playback(self, long_setup):
+        """Seek deep into the recording: random access works end to end."""
+        msm, mrs, rope_id, frames = long_setup
+        start = 540.0
+        play_id = mrs.play(
+            "u", rope_id, start=start, length=4.0, media=Media.VIDEO
+        )
+        plan = mrs.playback_plan(play_id)
+        tokens = plan.tokens()
+        first_frame = int(start * 30)
+        assert tokens == [
+            f.token for f in frames[first_frame:first_frame + 120]
+        ]
+        result = PlaybackSession(mrs).run([play_id], k=4)
+        assert result.metrics[play_id].continuous

@@ -1,0 +1,92 @@
+"""Unit tests for media clocks and §3.2 synchronization."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.media.clock import (
+    MediaClock,
+    continuous,
+    forced_display_times,
+    is_automatic,
+    lateness,
+    max_lateness,
+)
+
+
+@pytest.fixture
+def clock():
+    return MediaClock(start=1.0, period=0.1)
+
+
+class TestMediaClock:
+    def test_deadlines(self, clock):
+        assert clock.deadline(0) == pytest.approx(1.0)
+        assert clock.deadline(5) == pytest.approx(1.5)
+        assert clock.deadlines(3) == [
+            pytest.approx(1.0), pytest.approx(1.1), pytest.approx(1.2)
+        ]
+
+    def test_rejects_negative_block(self, clock):
+        with pytest.raises(ParameterError):
+            clock.deadline(-1)
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(ParameterError):
+            MediaClock(start=0.0, period=0.0)
+
+
+class TestForcedSynchronization:
+    def test_early_blocks_wait_for_deadline(self, clock):
+        arrivals = [0.5, 0.6, 1.15]
+        times = forced_display_times(arrivals, clock)
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(1.1)
+        assert times[2] == pytest.approx(1.2)
+
+    def test_late_blocks_display_on_arrival(self, clock):
+        arrivals = [1.05, 1.3]
+        times = forced_display_times(arrivals, clock)
+        assert times[0] == pytest.approx(1.05)
+        assert times[1] == pytest.approx(1.3)
+
+    def test_wait_overhead_charged_only_on_waits(self, clock):
+        arrivals = [0.5, 1.3]
+        times = forced_display_times(arrivals, clock, wait_overhead=0.01)
+        assert times[0] == pytest.approx(1.01)  # waited: overhead added
+        assert times[1] == pytest.approx(1.3)   # late: no wait, no overhead
+
+    def test_rejects_negative_overhead(self, clock):
+        with pytest.raises(ParameterError):
+            forced_display_times([1.0], clock, wait_overhead=-1.0)
+
+
+class TestAutomaticSynchronization:
+    def test_exact_match_is_automatic(self):
+        assert is_automatic(0.1, 0.1)
+
+    def test_mismatch_is_not(self):
+        assert not is_automatic(0.09, 0.1)
+        assert not is_automatic(0.11, 0.1)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ParameterError):
+            is_automatic(-0.1, 0.1)
+        with pytest.raises(ParameterError):
+            is_automatic(0.1, 0.0)
+
+
+class TestLatenessMetrics:
+    def test_lateness_signs(self, clock):
+        arrivals = [0.9, 1.2]
+        values = lateness(arrivals, clock)
+        assert values[0] == pytest.approx(-0.1)
+        assert values[1] == pytest.approx(0.1)
+
+    def test_max_lateness_and_continuous(self, clock):
+        assert max_lateness([0.9, 1.05], clock) == pytest.approx(-0.05)
+        assert continuous([0.9, 1.05], clock)
+        assert not continuous([1.2], clock)
+
+    def test_empty_playback_is_continuous(self, clock):
+        assert continuous([], clock)
+        assert max_lateness([], clock) == 0.0

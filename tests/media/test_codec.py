@@ -1,0 +1,67 @@
+"""Unit tests for compression models."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.media.codec import DifferencingCodec, FixedRateCodec
+
+
+class TestFixedRateCodec:
+    def test_compression(self):
+        codec = FixedRateCodec(ratio=18.0)
+        assert codec.compressed_bits(1800.0, 0) == pytest.approx(100.0)
+        assert codec.compressed_bits(1800.0, 99) == pytest.approx(100.0)
+
+    def test_mean_equals_every_frame(self):
+        codec = FixedRateCodec(ratio=4.0)
+        assert codec.mean_compressed_bits(400.0) == pytest.approx(100.0)
+
+    def test_rejects_expansion(self):
+        with pytest.raises(ParameterError):
+            FixedRateCodec(ratio=0.5)
+
+    def test_rejects_bad_raw_size(self):
+        codec = FixedRateCodec(ratio=2.0)
+        with pytest.raises(ParameterError):
+            codec.compressed_bits(0.0, 0)
+
+
+class TestDifferencingCodec:
+    def test_key_frames_on_group_boundary(self):
+        codec = DifferencingCodec(key_ratio=2.0, diff_ratio=20.0, group_size=10)
+        raw = 2000.0
+        assert codec.compressed_bits(raw, 0) == pytest.approx(1000.0)
+        assert codec.compressed_bits(raw, 10) == pytest.approx(1000.0)
+        assert codec.compressed_bits(raw, 5) == pytest.approx(100.0)
+
+    def test_mean_between_key_and_diff(self):
+        codec = DifferencingCodec(key_ratio=2.0, diff_ratio=20.0, group_size=10)
+        raw = 2000.0
+        mean = codec.mean_compressed_bits(raw)
+        assert 100.0 < mean < 1000.0
+        # Exactly (1 key + 9 diffs) / 10.
+        assert mean == pytest.approx((1000.0 + 9 * 100.0) / 10)
+
+    def test_mean_below_fixed_rate_at_key_ratio(self):
+        """§6.2: differencing yields smaller average frames."""
+        fixed = FixedRateCodec(ratio=2.0)
+        diff = DifferencingCodec(key_ratio=2.0, diff_ratio=20.0)
+        raw = 2000.0
+        assert diff.mean_compressed_bits(raw) < (
+            fixed.mean_compressed_bits(raw)
+        )
+
+    def test_deterministic(self):
+        codec = DifferencingCodec(key_ratio=2.0, diff_ratio=20.0)
+        assert codec.compressed_bits(1000.0, 7) == (
+            codec.compressed_bits(1000.0, 7)
+        )
+
+    def test_rejects_diff_smaller_than_key(self):
+        with pytest.raises(ParameterError):
+            DifferencingCodec(key_ratio=10.0, diff_ratio=5.0)
+
+    def test_rejects_negative_index(self):
+        codec = DifferencingCodec(key_ratio=2.0, diff_ratio=4.0)
+        with pytest.raises(ParameterError):
+            codec.compressed_bits(1000.0, -1)

@@ -1,0 +1,85 @@
+"""Unit tests for device buffers and capture/display devices."""
+
+import pytest
+
+from repro.core.symbols import DisplayDeviceParameters
+from repro.errors import ParameterError
+from repro.media.devices import CaptureDevice, DeviceBuffer, DisplayDevice
+
+
+class TestDeviceBuffer:
+    def test_deposit_consume(self):
+        buffer = DeviceBuffer(4)
+        buffer.deposit(2)
+        assert buffer.occupied == 2
+        assert buffer.free == 2
+        buffer.consume()
+        assert buffer.occupied == 1
+
+    def test_high_water(self):
+        buffer = DeviceBuffer(4)
+        buffer.deposit(3)
+        buffer.consume(2)
+        buffer.deposit(1)
+        assert buffer.high_water == 3
+
+    def test_overrun_raises(self):
+        buffer = DeviceBuffer(2)
+        buffer.deposit(2)
+        assert buffer.is_full
+        with pytest.raises(ParameterError):
+            buffer.deposit()
+
+    def test_underrun_raises(self):
+        buffer = DeviceBuffer(2)
+        assert buffer.is_empty
+        with pytest.raises(ParameterError):
+            buffer.consume()
+
+    def test_counters(self):
+        buffer = DeviceBuffer(8)
+        buffer.deposit(5)
+        buffer.consume(3)
+        assert buffer.deposits == 5
+        assert buffer.consumptions == 3
+
+    def test_reset(self):
+        buffer = DeviceBuffer(4)
+        buffer.deposit(4)
+        buffer.reset()
+        assert buffer.is_empty
+        assert buffer.high_water == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ParameterError):
+            DeviceBuffer(0)
+
+
+class TestDisplayDevice:
+    def test_display_time(self):
+        device = DisplayDevice(
+            DisplayDeviceParameters(display_rate=1e6), buffer_blocks=2
+        )
+        assert device.display_time(5e5) == pytest.approx(0.5)
+
+    def test_buffer_created_with_requested_blocks(self):
+        device = DisplayDevice(
+            DisplayDeviceParameters(display_rate=1e6), buffer_blocks=5
+        )
+        assert device.buffer.capacity == 5
+
+    def test_rejects_negative_bits(self):
+        device = DisplayDevice(DisplayDeviceParameters(display_rate=1e6))
+        with pytest.raises(ParameterError):
+            device.display_time(-1)
+
+
+class TestCaptureDevice:
+    def test_capture_time_mirrors_display(self):
+        """Paper assumption (2): capture time ≈ display time."""
+        params = DisplayDeviceParameters(display_rate=2e6)
+        display = DisplayDevice(params)
+        capture = CaptureDevice(params)
+        assert capture.capture_time(1e6) == pytest.approx(
+            display.display_time(1e6)
+        )

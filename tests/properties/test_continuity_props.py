@@ -1,0 +1,120 @@
+"""Property-based tests for the continuity model (hypothesis)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import continuity
+from repro.core.continuity import Architecture
+from repro.core.symbols import (
+    BlockModel,
+    DiskParameters,
+    DisplayDeviceParameters,
+)
+from repro.errors import InfeasibleError
+
+blocks = st.builds(
+    BlockModel,
+    unit_rate=st.floats(min_value=1.0, max_value=120.0),
+    unit_size=st.floats(min_value=64.0, max_value=1e7),
+    granularity=st.integers(min_value=1, max_value=64),
+)
+
+disks = st.builds(
+    lambda rate, track, avg_extra, max_extra: DiskParameters(
+        transfer_rate=rate,
+        seek_track=track,
+        seek_avg=track + avg_extra,
+        seek_max=track + avg_extra + max_extra,
+    ),
+    rate=st.floats(min_value=1e5, max_value=1e10),
+    track=st.floats(min_value=0.0, max_value=0.01),
+    avg_extra=st.floats(min_value=0.0, max_value=0.02),
+    max_extra=st.floats(min_value=0.0, max_value=0.05),
+)
+
+devices = st.builds(
+    DisplayDeviceParameters,
+    display_rate=st.floats(min_value=1e5, max_value=1e10),
+    buffer_frames=st.integers(min_value=2, max_value=64),
+)
+
+scatterings = st.floats(min_value=0.0, max_value=0.2)
+architectures = st.sampled_from(
+    [Architecture.SEQUENTIAL, Architecture.PIPELINED]
+)
+
+
+class TestSlackProperties:
+    @given(block=blocks, disk=disks, device=devices,
+           l1=scatterings, l2=scatterings, arch=architectures)
+    def test_monotone_in_scattering(self, block, disk, device, l1, l2, arch):
+        """Increasing l_ds never turns infeasible into feasible."""
+        low, high = min(l1, l2), max(l1, l2)
+        slack_low = continuity.slack(arch, block, disk, device, low)
+        slack_high = continuity.slack(arch, block, disk, device, high)
+        assert slack_low >= slack_high - 1e-12
+
+    @given(block=blocks, disk=disks, device=devices, l_ds=scatterings)
+    def test_pipelined_never_below_sequential(
+        self, block, disk, device, l_ds
+    ):
+        assert continuity.pipelined_slack(block, disk, l_ds) >= (
+            continuity.sequential_slack(block, disk, device, l_ds)
+        )
+
+    @given(block=blocks, disk=disks, l_ds=scatterings,
+           p=st.integers(min_value=2, max_value=16))
+    def test_concurrent_slack_monotone_in_p(self, block, disk, l_ds, p):
+        assert continuity.concurrent_slack(block, disk, l_ds, p + 1) >= (
+            continuity.concurrent_slack(block, disk, l_ds, p)
+        )
+
+    @given(block=blocks, disk=disks, device=devices, arch=architectures)
+    def test_max_scattering_is_exact_boundary(
+        self, block, disk, device, arch
+    ):
+        try:
+            bound = continuity.max_scattering(arch, block, disk, device)
+        except InfeasibleError:
+            # Then even l_ds = 0 must be infeasible.
+            assert continuity.slack(arch, block, disk, device, 0.0) < 0
+            return
+        assert continuity.slack(
+            arch, block, disk, device, bound
+        ) == pytest.approx(0.0, abs=1e-9)
+        epsilon = max(1e-9, bound * 1e-6)
+        assert continuity.slack(
+            arch, block, disk, device, bound + epsilon
+        ) < 0
+
+    @given(block=blocks, disk=disks, device=devices, arch=architectures,
+           factor=st.integers(min_value=2, max_value=8))
+    def test_granularity_growth_never_hurts_bound(
+        self, block, disk, device, arch, factor
+    ):
+        """Bigger blocks amortize the gap: the l_ds bound cannot shrink."""
+        try:
+            small = continuity.max_scattering(arch, block, disk, device)
+        except InfeasibleError:
+            return
+        bigger = block.with_granularity(block.granularity * factor)
+        big = continuity.max_scattering(arch, bigger, disk, device)
+        assert big >= small - 1e-12
+
+
+class TestThroughputProperties:
+    @given(disk=disks,
+           bits=st.floats(min_value=1e3, max_value=1e8),
+           gap=st.floats(min_value=0.0, max_value=0.1))
+    def test_throughput_bounded_by_streaming_rate(self, disk, bits, gap):
+        throughput = continuity.effective_throughput(bits, disk, gap)
+        assert throughput <= disk.heads * disk.transfer_rate + 1e-6
+
+    @given(disk=disks, gap=st.floats(min_value=1e-4, max_value=0.1),
+           bits=st.floats(min_value=1e3, max_value=1e7),
+           factor=st.floats(min_value=1.1, max_value=100.0))
+    def test_bigger_blocks_amortize_gaps(self, disk, gap, bits, factor):
+        small = continuity.effective_throughput(bits, disk, gap)
+        large = continuity.effective_throughput(bits * factor, disk, gap)
+        assert large >= small - 1e-9

@@ -1,0 +1,152 @@
+"""Property-based tests for the interval algebra and rope operations."""
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.errors import IntervalError
+from repro.rope import operations as ops
+from repro.rope.intervals import (
+    MediaTrack,
+    Segment,
+    delete_range,
+    slice_segments,
+    splice_segments,
+    total_duration,
+)
+from repro.rope.structures import Media
+
+#: One video frame at 30 fps — the rounding tolerance of time<->unit
+#: conversion, per segment boundary crossed.
+FRAME = 1.0 / 30.0
+
+
+@st.composite
+def av_segments(draw, min_segments=1, max_segments=5):
+    """A list of AV segments with varied strands and offsets."""
+    count = draw(st.integers(min_segments, max_segments))
+    segments = []
+    for i in range(count):
+        seconds = draw(st.integers(2, 20))  # whole seconds: exact units
+        start_block = draw(st.integers(0, 10))
+        segments.append(
+            Segment(
+                video=MediaTrack(
+                    strand_id=f"V{i}",
+                    start_unit=start_block * 4,
+                    length_units=30 * seconds,
+                    rate=30.0,
+                    granularity=4,
+                ),
+                audio=MediaTrack(
+                    strand_id=f"A{i}",
+                    start_unit=start_block * 2048,
+                    length_units=8000 * seconds,
+                    rate=8000.0,
+                    granularity=2048,
+                ),
+            )
+        )
+    return segments
+
+
+class TestSliceProperties:
+    @given(segments=av_segments(), data=st.data())
+    def test_slice_duration_matches_request(self, segments, data):
+        total = total_duration(segments)
+        start = data.draw(
+            st.floats(min_value=0.0, max_value=total * 0.6)
+        )
+        length = data.draw(
+            st.floats(min_value=0.5, max_value=max(0.5, total - start))
+        )
+        assume(start + length <= total)
+        result = slice_segments(segments, start, length)
+        tolerance = FRAME * (len(result) + 1)
+        assert total_duration(result) == pytest.approx(
+            length, abs=tolerance
+        )
+
+    @given(segments=av_segments())
+    def test_full_slice_is_identity_duration(self, segments):
+        total = total_duration(segments)
+        result = slice_segments(segments, 0.0, total)
+        assert total_duration(result) == pytest.approx(total, abs=1e-6)
+        assert len(result) == len(segments)
+
+
+class TestSpliceDeleteInverse:
+    @given(segments=av_segments(max_segments=3),
+           insertion=av_segments(max_segments=2), data=st.data())
+    def test_insert_grows_by_inserted_duration(
+        self, segments, insertion, data
+    ):
+        total = total_duration(segments)
+        position = data.draw(st.floats(min_value=0.0, max_value=total))
+        result = splice_segments(segments, position, insertion)
+        assert total_duration(result) == pytest.approx(
+            total + total_duration(insertion), abs=FRAME * 4
+        )
+
+    @given(segments=av_segments(min_segments=2), data=st.data())
+    def test_delete_shrinks_by_deleted_duration(self, segments, data):
+        total = total_duration(segments)
+        start = data.draw(st.floats(min_value=0.0, max_value=total / 2))
+        length = data.draw(
+            st.floats(min_value=0.5, max_value=total / 3)
+        )
+        assume(start + length < total - 0.5)
+        result = delete_range(segments, start, length)
+        assert total_duration(result) == pytest.approx(
+            total - length, abs=FRAME * (len(segments) + 2)
+        )
+
+    @given(segments=av_segments(max_segments=3),
+           insertion=av_segments(max_segments=1), data=st.data())
+    def test_insert_then_delete_roundtrips_duration(
+        self, segments, insertion, data
+    ):
+        total = total_duration(segments)
+        position = data.draw(st.floats(min_value=0.0, max_value=total))
+        inserted = splice_segments(segments, position, insertion)
+        removed = delete_range(
+            inserted, position, total_duration(insertion)
+        )
+        assert total_duration(removed) == pytest.approx(
+            total, abs=FRAME * 6
+        )
+
+
+class TestOperationInvariants:
+    @given(segments=av_segments(), data=st.data())
+    def test_substring_never_references_new_strands(self, segments, data):
+        total = total_duration(segments)
+        start = data.draw(st.floats(min_value=0.0, max_value=total / 2))
+        length = data.draw(st.floats(min_value=0.5, max_value=total / 2))
+        assume(start + length <= total)
+        result = ops.substring(segments, Media.AUDIO_VISUAL, start, length)
+        original = set()
+        for segment in segments:
+            original.update(segment.strand_ids())
+        for segment in result:
+            assert set(segment.strand_ids()).issubset(original)
+
+    @given(first=av_segments(max_segments=3),
+           second=av_segments(max_segments=3))
+    def test_concate_is_exact(self, first, second):
+        result = ops.concate(first, second)
+        assert total_duration(result) == pytest.approx(
+            total_duration(first) + total_duration(second), abs=1e-9
+        )
+        assert len(result) == len(first) + len(second)
+
+    @given(segments=av_segments(min_segments=2), data=st.data())
+    def test_single_medium_delete_preserves_duration(self, segments, data):
+        total = total_duration(segments)
+        start = data.draw(st.floats(min_value=0.0, max_value=total / 2))
+        length = data.draw(st.floats(min_value=0.5, max_value=total / 3))
+        assume(start + length <= total)
+        result = ops.delete(segments, Media.AUDIO, start, length)
+        assert total_duration(result) == pytest.approx(
+            total, abs=FRAME * (len(segments) + 3)
+        )

@@ -1,0 +1,162 @@
+"""Unit tests for the §4.2 seam-repair algorithm."""
+
+import pytest
+
+from repro.config import TESTBED_1991
+from repro.core.editing_bounds import copy_bound_dense
+from repro.core.symbols import DisplayDeviceParameters
+from repro.disk import build_drive
+from repro.fs import MultimediaStorageManager
+from repro.media.frames import frames_for_duration
+from repro.rope import Media, MultimediaRopeServer
+from repro.rope.scattering_repair import ScatteringRepairer
+
+
+@pytest.fixture
+def tight_msm():
+    """An MSM whose video bound is below the drive's full-stroke access.
+
+    A 2-frame device buffer forces granularity 1; the pipelined bound is
+    then ~27 ms against a ~32 ms worst-case access, so cross-disk seams
+    genuinely violate.
+    """
+    profile = TESTBED_1991
+    drive = build_drive()
+    narrow = DisplayDeviceParameters(
+        display_rate=profile.video_device.display_rate, buffer_frames=2
+    )
+    return MultimediaStorageManager(
+        drive, profile.video, profile.audio, narrow, profile.audio_device
+    )
+
+
+@pytest.fixture
+def far_ropes(tight_msm):
+    """Two video ropes stored at opposite ends of the disk."""
+    profile = TESTBED_1991
+    mrs = MultimediaRopeServer(tight_msm, auto_repair=False)
+    early = tight_msm.store_video_strand(
+        frames_for_duration(profile.video, 6.0, source="early"), hint=0
+    )
+    late = tight_msm.store_video_strand(
+        frames_for_duration(profile.video, 6.0, source="late"),
+        hint=tight_msm.drive.slots - 1,
+    )
+    rope_a = mrs.adopt_strands("u", video_strand_id=early.strand_id)
+    rope_b = mrs.adopt_strands("u", video_strand_id=late.strand_id)
+    return mrs, rope_a, rope_b
+
+
+class TestSeamChecks:
+    def test_far_seam_violates(self, tight_msm, far_ropes):
+        mrs, rope_a, rope_b = far_ropes
+        merged = mrs.concate("u", rope_a, rope_b)
+        repairer = ScatteringRepairer(tight_msm)
+        checks = repairer.check_segments(merged.segments)
+        assert len(checks) == 1
+        assert checks[0].violates
+        assert checks[0].medium is Media.VIDEO
+
+    def test_near_seam_does_not_violate(self, tight_msm):
+        profile = TESTBED_1991
+        mrs = MultimediaRopeServer(tight_msm, auto_repair=False)
+        a = tight_msm.store_video_strand(
+            frames_for_duration(profile.video, 3.0, source="a"), hint=0
+        )
+        b = tight_msm.store_video_strand(
+            frames_for_duration(profile.video, 3.0, source="b")
+        )
+        rope_a = mrs.adopt_strands("u", video_strand_id=a.strand_id)
+        rope_b = mrs.adopt_strands("u", video_strand_id=b.strand_id)
+        merged = mrs.concate("u", rope_a, rope_b)
+        repairer = ScatteringRepairer(tight_msm)
+        checks = repairer.check_segments(merged.segments)
+        assert all(not c.violates for c in checks)
+
+
+class TestRepair:
+    def test_repair_restores_continuity(self, tight_msm, far_ropes):
+        mrs, rope_a, rope_b = far_ropes
+        merged = mrs.concate("u", rope_a, rope_b)
+        repairer = ScatteringRepairer(tight_msm)
+        segments, report = repairer.repair_segments(merged.segments)
+        assert report.seams_violating == 1
+        assert report.seams_repaired == 1
+        assert report.residual_violations == 0
+        after = repairer.check_segments(segments)
+        assert all(not c.violates for c in after)
+
+    def test_copies_respect_paper_bound(self, tight_msm, far_ropes):
+        mrs, rope_a, rope_b = far_ropes
+        merged = mrs.concate("u", rope_a, rope_b)
+        repairer = ScatteringRepairer(tight_msm)
+        _, report = repairer.repair_segments(merged.segments)
+        dense_bound = copy_bound_dense(
+            tight_msm.disk_params.seek_max,
+            tight_msm.policies.video.scattering_lower,
+        )
+        assert 1 <= report.blocks_copied <= dense_bound
+
+    def test_repair_creates_new_strand(self, tight_msm, far_ropes):
+        mrs, rope_a, rope_b = far_ropes
+        before = set(tight_msm.strand_ids())
+        merged = mrs.concate("u", rope_a, rope_b)
+        repairer = ScatteringRepairer(tight_msm)
+        segments, report = repairer.repair_segments(merged.segments)
+        new_strands = set(tight_msm.strand_ids()) - before
+        assert len(new_strands) == 1
+        # The repaired rope references the copy strand.
+        referenced = set()
+        for segment in segments:
+            referenced.update(segment.strand_ids())
+        assert new_strands.issubset(referenced)
+
+    def test_repair_preserves_playback_content(self, tight_msm, far_ropes):
+        """Tokens after repair are identical — copying is transparent."""
+        mrs, rope_a, rope_b = far_ropes
+        merged = mrs.concate("u", rope_a, rope_b)
+        request = mrs.play("u", rope_a, media=Media.VIDEO)
+        expected = mrs.playback_plan(request).tokens()
+        mrs.stop(request)
+        repairer = ScatteringRepairer(tight_msm)
+        segments, _ = repairer.repair_segments(merged.segments)
+        mrs._install(merged.with_segments(segments))
+        request = mrs.play("u", rope_a, media=Media.VIDEO)
+        assert mrs.playback_plan(request).tokens() == expected
+
+    def test_clean_rope_untouched(self, tight_msm):
+        profile = TESTBED_1991
+        mrs = MultimediaRopeServer(tight_msm, auto_repair=False)
+        strand = tight_msm.store_video_strand(
+            frames_for_duration(profile.video, 5.0, source="x")
+        )
+        rope_id = mrs.adopt_strands("u", video_strand_id=strand.strand_id)
+        rope = mrs.get_rope(rope_id)
+        repairer = ScatteringRepairer(tight_msm)
+        segments, report = repairer.repair_segments(rope.segments)
+        assert report.seams_repaired == 0
+        assert report.blocks_copied == 0
+        assert list(segments) == list(rope.segments)
+
+
+class TestAutoRepairInServer:
+    def test_concate_auto_repairs(self, tight_msm):
+        profile = TESTBED_1991
+        mrs = MultimediaRopeServer(tight_msm, auto_repair=True)
+        early = tight_msm.store_video_strand(
+            frames_for_duration(profile.video, 6.0, source="early"), hint=0
+        )
+        late = tight_msm.store_video_strand(
+            frames_for_duration(profile.video, 6.0, source="late"),
+            hint=tight_msm.drive.slots - 1,
+        )
+        rope_a = mrs.adopt_strands("u", video_strand_id=early.strand_id)
+        rope_b = mrs.adopt_strands("u", video_strand_id=late.strand_id)
+        merged = mrs.concate("u", rope_a, rope_b)
+        assert mrs.last_repair is not None
+        assert mrs.last_repair.seams_repaired == 1
+        repairer = ScatteringRepairer(tight_msm)
+        assert all(
+            not c.violates
+            for c in repairer.check_segments(merged.segments)
+        )

@@ -1,0 +1,115 @@
+"""Unit tests for Fig.-8 trigger information."""
+
+import pytest
+
+from repro.errors import IntervalError
+from repro.media.frames import frames_for_duration
+from repro.rope import Media
+from repro.rope.intervals import MediaTrack, Segment, Trigger
+from repro.rope.triggers import attach_trigger, trigger_schedule
+
+
+def av_segment(seconds=10.0, v_start=0, a_start=0):
+    return Segment(
+        video=MediaTrack("V1", v_start, int(30 * seconds), 30.0, 4),
+        audio=MediaTrack("A1", a_start, int(8000 * seconds), 8000.0, 2048),
+    )
+
+
+class TestAttachTrigger:
+    def test_records_both_block_ids(self):
+        segments = attach_trigger([av_segment()], 5.0, "slide 2")
+        trigger = segments[0].triggers[0]
+        # 5 s -> video unit 150 -> block 37; audio sample 40000 -> block 19.
+        assert trigger.video_block == 37
+        assert trigger.audio_block == 19
+        assert trigger.text == "slide 2"
+
+    def test_attaches_to_correct_segment(self):
+        segments = [av_segment(10.0), av_segment(10.0, v_start=300)]
+        updated = attach_trigger(segments, 12.0, "late")
+        assert not updated[0].triggers
+        assert updated[1].triggers[0].text == "late"
+
+    def test_beyond_end_rejected(self):
+        with pytest.raises(IntervalError):
+            attach_trigger([av_segment(10.0)], 11.0, "x")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(IntervalError):
+            attach_trigger([av_segment()], 1.0, "")
+
+    def test_original_segments_untouched(self):
+        segments = [av_segment()]
+        attach_trigger(segments, 1.0, "x")
+        assert not segments[0].triggers
+
+
+class TestTriggerSchedule:
+    def test_fires_at_block_start(self):
+        segments = attach_trigger([av_segment()], 5.0, "cue")
+        firings = trigger_schedule(segments)
+        assert len(firings) == 1
+        time, text = firings[0]
+        # Snapped to the start of video block 37: unit 148 / 30 fps.
+        assert time == pytest.approx(148 / 30)
+        assert text == "cue"
+
+    def test_sorted_by_time(self):
+        segments = [av_segment()]
+        for t, label in ((8.0, "late"), (2.0, "early"), (5.0, "mid")):
+            segments = attach_trigger(segments, t, label)
+        firings = trigger_schedule(segments)
+        assert [text for _, text in firings] == ["early", "mid", "late"]
+
+    def test_trigger_outside_edited_interval_is_silent(self):
+        """Editing away a trigger's block edits away its firing."""
+        segments = attach_trigger([av_segment(10.0)], 8.0, "cut me")
+        # Keep only the first 5 seconds of the segment.
+        kept = [segments[0].slice(0.0, 5.0)]
+        assert trigger_schedule(kept) == []
+
+    def test_trigger_offset_follows_interval_start(self):
+        segments = attach_trigger([av_segment(10.0)], 8.0, "keep")
+        tail = [segments[0].slice(6.0, 4.0)]
+        firings = trigger_schedule(tail)
+        assert len(firings) == 1
+        assert firings[0][0] == pytest.approx(2.0, abs=0.2)
+
+
+class TestServerIntegration:
+    def test_add_and_schedule_through_server(self, mrs, profile):
+        frames = frames_for_duration(profile.video, 10.0, source="trig")
+        request_id, rope_id = mrs.record("u", frames=frames)
+        mrs.stop(request_id)
+        mrs.add_trigger("u", rope_id, 3.0, "chapter 1")
+        mrs.add_trigger("u", rope_id, 7.0, "chapter 2")
+        play_id = mrs.play("u", rope_id)
+        firings = mrs.trigger_schedule(play_id)
+        assert [text for _, text in firings] == ["chapter 1", "chapter 2"]
+        assert firings[0][0] == pytest.approx(3.0, abs=0.2)
+
+    def test_partial_play_shifts_offsets(self, mrs, profile):
+        frames = frames_for_duration(profile.video, 10.0, source="trig2")
+        request_id, rope_id = mrs.record("u", frames=frames)
+        mrs.stop(request_id)
+        mrs.add_trigger("u", rope_id, 6.0, "mid")
+        play_id = mrs.play("u", rope_id, start=4.0, length=6.0)
+        firings = mrs.trigger_schedule(play_id)
+        assert len(firings) == 1
+        assert firings[0][0] == pytest.approx(2.0, abs=0.2)
+
+    def test_triggers_survive_insert(self, mrs, profile):
+        """Editing preserves triggers attached to surviving intervals."""
+        frames = frames_for_duration(profile.video, 10.0, source="trig3")
+        q1, rope_a = mrs.record("u", frames=frames)
+        mrs.stop(q1)
+        q2, rope_b = mrs.record("u", frames=frames[:90])
+        mrs.stop(q2)
+        mrs.add_trigger("u", rope_a, 8.0, "finale")
+        mrs.insert("u", rope_a, 2.0, Media.VIDEO, rope_b, 0.0, 3.0)
+        play_id = mrs.play("u", rope_a)
+        firings = mrs.trigger_schedule(play_id)
+        assert [text for _, text in firings] == ["finale"]
+        # Shifted right by the 3-second insertion.
+        assert firings[0][0] == pytest.approx(11.0, abs=0.3)

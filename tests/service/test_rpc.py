@@ -1,0 +1,86 @@
+"""Unit tests for the MRS<->MSM RPC boundary."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.media.frames import frames_for_duration
+from repro.service.rpc import RpcChannel, stub_for
+
+
+class Calculator:
+    """A trivial target service for channel tests."""
+
+    def add(self, a, b):
+        return a + b
+
+    def describe(self, items):
+        return {"count": len(items)}
+
+    def _secret(self):
+        return 42
+
+    value = 7
+
+
+class TestRpcChannel:
+    def test_invoke_and_log(self):
+        channel = RpcChannel("test")
+        target = Calculator()
+        assert channel.invoke(target, "add", 1, 2) == 3
+        assert channel.call_count == 1
+        call = channel.calls[0]
+        assert call.method == "add"
+        assert call.argument_bytes > 0
+        assert call.result_bytes > 0
+
+    def test_private_methods_refused(self):
+        channel = RpcChannel("test")
+        with pytest.raises(ParameterError):
+            channel.invoke(Calculator(), "_secret")
+
+    def test_non_callable_refused(self):
+        channel = RpcChannel("test")
+        with pytest.raises(ParameterError):
+            channel.invoke(Calculator(), "value")
+
+    def test_histogram_and_bytes(self):
+        channel = RpcChannel("test")
+        target = Calculator()
+        channel.invoke(target, "add", 1, 2)
+        channel.invoke(target, "add", 3, 4)
+        channel.invoke(target, "describe", ["a", "b"])
+        assert channel.calls_by_method() == {"add": 2, "describe": 1}
+        assert channel.bytes_transferred > 0
+
+
+class TestStub:
+    def test_stub_routes_methods(self):
+        channel = RpcChannel("test")
+        stub = stub_for(Calculator(), channel)
+        assert stub.add(2, 3) == 5
+        assert channel.call_count == 1
+
+    def test_stub_passes_plain_attributes(self):
+        channel = RpcChannel("test")
+        stub = stub_for(Calculator(), channel)
+        assert stub.value == 7
+        assert channel.call_count == 0
+
+
+class TestLayerBoundary:
+    def test_applications_reach_mrs_through_stub(self, mrs, profile):
+        """The §5.2 pattern: a rope stub library in front of the MRS."""
+        channel = RpcChannel("app<->mrs")
+        stub = stub_for(mrs, channel)
+        frames = frames_for_duration(profile.video, 2.0, source="rpc")
+        request_id, rope_id = stub.record("u", frames=frames)
+        stub.stop(request_id)
+        rope = stub.get_rope(rope_id)
+        assert rope.duration == pytest.approx(2.0)
+        methods = channel.calls_by_method()
+        assert methods["record"] == 1
+        assert methods["stop"] == 1
+        # Rope metadata is tiny compared to the media itself (~2 MB):
+        # only synchronization information crosses the boundary.
+        media_bits = sum(f.size_bits for f in frames)
+        assert channel.bytes_transferred * 8 < media_bits / 10

@@ -1,0 +1,92 @@
+"""Unit tests for §6.2 seek-optimized request ordering."""
+
+import pytest
+
+from repro.config import TESTBED_1991
+from repro.core.symbols import video_block_model
+from repro.disk import build_drive
+from repro.errors import ParameterError
+from repro.rope.server import BlockFetch
+from repro.service.rounds import RoundRobinService, StreamState
+from repro.service.scan_order import (
+    ScanOrderService,
+    measured_capacity,
+    probe_round_times,
+)
+
+
+@pytest.fixture
+def block():
+    return video_block_model(TESTBED_1991.video, 1)
+
+
+def regional_streams(drive, block, n=3, blocks=60, k=8):
+    """n streams in n disk regions, adversarial arrival order."""
+    regions = [0, n - 1] + list(range(1, n - 1))
+    streams = []
+    for i, region in enumerate(regions[:n]):
+        base = region * drive.slots // n
+        fetches = [
+            BlockFetch(
+                slot=min(base + j, drive.slots - 1),
+                bits=block.block_bits,
+                duration=block.playback_duration,
+            )
+            for j in range(blocks)
+        ]
+        streams.append(
+            StreamState(
+                request_id=f"s{i}", fetches=fetches, buffer_capacity=2 * k
+            )
+        )
+    return streams
+
+
+class TestScanOrdering:
+    def test_same_deliveries_as_round_robin(self, block):
+        """SCAN changes order, never correctness: all blocks delivered."""
+        drive = build_drive()
+        streams = regional_streams(drive, block)
+        service = ScanOrderService(drive, lambda r, n: 8)
+        metrics = service.run(streams)
+        assert all(m.blocks_delivered == 60 for m in metrics.values())
+
+    def test_scan_reduces_seek_time(self, block):
+        drive_rr = build_drive()
+        rr = RoundRobinService(drive_rr, lambda r, n: 8)
+        rr.run(regional_streams(drive_rr, block))
+        drive_scan = build_drive()
+        scan = ScanOrderService(drive_scan, lambda r, n: 8)
+        scan.run(regional_streams(drive_scan, block))
+        assert drive_scan.stats.seek_time <= drive_rr.stats.seek_time
+
+    def test_probe_measures_rounds(self, block):
+        drive = build_drive()
+        streams = regional_streams(drive, block, blocks=32, k=8)
+        probe = probe_round_times(
+            ScanOrderService(drive, lambda r, n: 8), streams
+        )
+        assert len(probe.durations) >= 4
+        assert 0 < probe.mean <= probe.worst
+
+    def test_probe_restores_service(self, block):
+        drive = build_drive()
+        service = ScanOrderService(drive, lambda r, n: 8)
+        original = service._run_round
+        probe_round_times(service, regional_streams(drive, block, blocks=8))
+        assert service._run_round == original
+
+
+class TestMeasuredCapacity:
+    def test_form_matches_eq17(self):
+        # beta_hat = 0.6 / (3*10) = 0.02; ceil(0.1/0.02) - 1 = 4.
+        assert measured_capacity(0.1, 10, 0.6, 3) == 4
+
+    def test_floor_at_one(self):
+        assert measured_capacity(0.01, 1, 10.0, 1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            measured_capacity(0.1, 0, 0.6, 3)
+        with pytest.raises(ParameterError):
+            measured_capacity(0.1, 1, 0.0, 3)

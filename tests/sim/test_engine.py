@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.at(2.0, lambda: fired.append("b"))
+        engine.at(1.0, lambda: fired.append("a"))
+        engine.at(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = Engine()
+        fired = []
+        for tag in ("first", "second", "third"):
+            engine.at(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_after_is_relative(self):
+        engine = Engine()
+        times = []
+        engine.after(1.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.0]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        times = []
+
+        def first():
+            times.append(engine.now)
+            engine.after(0.5, lambda: times.append(engine.now))
+
+        engine.at(1.0, first)
+        engine.run()
+        assert times == [1.0, 1.5]
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.at(1.0, lambda: engine.at(0.5, lambda: None))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.after(-1.0, lambda: None)
+
+    def test_run_until_horizon(self):
+        engine = Engine()
+        fired = []
+        engine.at(1.0, lambda: fired.append(1))
+        engine.at(5.0, lambda: fired.append(5))
+        engine.run(until=2.0)
+        assert fired == [1]
+        assert engine.now == 2.0
+        assert engine.pending == 1
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_when_idle(self):
+        engine = Engine()
+        engine.run(until=10.0)
+        assert engine.now == 10.0
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.after(0.1, forever)
+
+        engine.after(0.1, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+
+class TestProcesses:
+    def test_generator_process_advances_time(self):
+        engine = Engine()
+        log = []
+
+        def process():
+            log.append(("start", engine.now))
+            yield 1.0
+            log.append(("mid", engine.now))
+            yield 2.0
+            log.append(("end", engine.now))
+
+        engine.spawn(process())
+        engine.run()
+        assert log == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+
+    def test_process_waits_on_signal(self):
+        engine = Engine()
+        signal = engine.signal("ready")
+        log = []
+
+        def waiter():
+            yield signal
+            log.append(engine.now)
+
+        engine.spawn(waiter())
+        assert signal.waiting == 1
+        engine.at(5.0, signal.fire)
+        engine.run()
+        assert log == [5.0]
+        assert signal.fire_count == 1
+
+    def test_signal_broadcasts(self):
+        engine = Engine()
+        signal = engine.signal()
+        woken = []
+
+        def waiter(name):
+            yield signal
+            woken.append(name)
+
+        engine.spawn(waiter("a"))
+        engine.spawn(waiter("b"))
+        assert signal.fire() == 2
+        assert sorted(woken) == ["a", "b"]
+
+    def test_negative_yield_rejected(self):
+        engine = Engine()
+
+        def bad():
+            yield -1.0
+
+        with pytest.raises(SimulationError):
+            engine.spawn(bad())
+
+    def test_counters(self):
+        engine = Engine()
+
+        def process():
+            yield 1.0
+
+        engine.spawn(process())
+        engine.run()
+        assert engine.processes_spawned == 1
+        assert engine.events_executed >= 1

@@ -1,0 +1,95 @@
+"""Unit tests for continuity metrics and tracing."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.metrics import ContinuityMetrics, SweepSeries
+from repro.sim.trace import Tracer
+
+
+class TestContinuityMetrics:
+    def test_on_time_blocks(self):
+        metrics = ContinuityMetrics()
+        metrics.record_delivery(arrival=1.0, deadline=1.0)
+        metrics.record_delivery(arrival=0.5, deadline=2.0)
+        assert metrics.continuous
+        assert metrics.misses == 0
+        assert metrics.miss_ratio == 0.0
+        assert metrics.blocks_delivered == 2
+
+    def test_late_blocks_counted(self):
+        metrics = ContinuityMetrics()
+        metrics.record_delivery(arrival=1.5, deadline=1.0)
+        metrics.record_delivery(arrival=3.0, deadline=2.0)
+        assert not metrics.continuous
+        assert metrics.misses == 2
+        assert metrics.max_lateness == pytest.approx(1.0)
+        assert metrics.total_lateness == pytest.approx(1.5)
+        assert metrics.miss_ratio == 1.0
+
+    def test_jitter_peak_to_peak(self):
+        metrics = ContinuityMetrics()
+        metrics.record_delivery(arrival=0.5, deadline=1.0)  # -0.5
+        metrics.record_delivery(arrival=2.3, deadline=2.0)  # +0.3
+        assert metrics.jitter == pytest.approx(0.8)
+
+    def test_mean_lateness(self):
+        metrics = ContinuityMetrics()
+        metrics.record_delivery(arrival=0.9, deadline=1.0)
+        metrics.record_delivery(arrival=2.1, deadline=2.0)
+        assert metrics.mean_lateness == pytest.approx(0.0)
+
+    def test_empty_metrics(self):
+        metrics = ContinuityMetrics()
+        assert metrics.continuous
+        assert metrics.miss_ratio == 0.0
+        assert metrics.jitter == 0.0
+        assert metrics.mean_lateness == 0.0
+
+
+class TestSweepSeries:
+    def test_add_and_lookup(self):
+        series = SweepSeries("s", "x", "y")
+        series.add(1.0, 10.0)
+        series.add(2.0, 20.0)
+        assert len(series) == 2
+        assert series.y_at(2.0) == 20.0
+
+    def test_missing_x(self):
+        series = SweepSeries("s", "x", "y")
+        with pytest.raises(ParameterError):
+            series.y_at(5.0)
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "read", "req1", "block 0")
+        tracer.emit(2.0, "miss", "req1", "block 1")
+        tracer.emit(3.0, "read", "req2", "block 0")
+        assert len(tracer) == 3
+        assert len(tracer.filter(tag="read")) == 2
+        assert len(tracer.filter(subject="req1")) == 2
+        assert len(tracer.filter(tag="read", subject="req2")) == 1
+        assert tracer.counts_by_tag() == {"read": 2, "miss": 1}
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, "read", "x")
+        assert len(tracer) == 0
+
+    def test_limit_drops_oldest(self):
+        tracer = Tracer(limit=2)
+        for i in range(5):
+            tracer.emit(float(i), "t", f"s{i}")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert tracer.filter(subject="s4")
+
+    def test_render(self):
+        tracer = Tracer(limit=2)
+        for i in range(3):
+            tracer.emit(float(i), "tag", "subj", "detail")
+        text = tracer.render()
+        assert "dropped" in text
+        assert "tag" in text

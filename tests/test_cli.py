@@ -1,0 +1,72 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestProfiles:
+    def test_lists_all_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "testbed-1991" in out
+        assert "hdtv-2.5gbit" in out
+        assert "fast-array-1995" in out
+        assert "Mbit" in out
+
+
+class TestPolicy:
+    def test_default_profile(self, capsys):
+        assert main(["policy"]) == 0
+        out = capsys.readouterr().out
+        assert "video: granularity" in out
+        assert "pipelined l_ds bound" in out
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            main(["policy", "--profile", "nope"])
+
+
+class TestExperiments:
+    def test_registry_covers_all_experiments(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 22)}
+
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "e7"]) == 0
+        out = capsys.readouterr().out
+        assert "HDTV" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["experiments", "e2", "e5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "read-ahead" in out
+
+    def test_unknown_id_fails_cleanly(self, capsys):
+        assert main(["experiments", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo_runs_continuously(self, capsys):
+        assert main(["demo", "--seconds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded rope" in out
+        assert "misses 0" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExtensionExperimentsViaCli:
+    def test_extension_experiment_runs(self, capsys):
+        assert main(["experiments", "e13"]) == 0
+        out = capsys.readouterr().out
+        assert "variable-rate" in out
+
+    def test_ablation_experiments_not_in_registry(self):
+        # Ablations run through benchmarks, not the eN registry.
+        assert "ablate" not in " ".join(EXPERIMENTS)

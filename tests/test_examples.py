@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def run_example(path: Path, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(path.stem, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {"quickstart", "video_mail", "news_editing"} <= names
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+    )
+    def test_example_runs(self, path, capsys):
+        out = run_example(path, capsys)
+        assert out.strip(), f"{path.stem} produced no output"
+        lowered = out.lower()
+        assert "violated" not in lowered
+        assert "failed" not in lowered
+
+    def test_quickstart_reports_continuity(self, capsys):
+        out = run_example(
+            Path(__file__).parent.parent / "examples" / "quickstart.py",
+            capsys,
+        )
+        assert "continuity requirement satisfied" in out
+
+    def test_admission_example_shows_refusal(self, capsys):
+        out = run_example(
+            Path(__file__).parent.parent / "examples"
+            / "admission_capacity.py",
+            capsys,
+        )
+        assert "REFUSED" in out
+        assert "real-time guarantee held" in out

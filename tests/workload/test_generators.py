@@ -1,0 +1,94 @@
+"""Unit tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.config import TESTBED_1991
+from repro.errors import ParameterError
+from repro.workload import (
+    make_recording,
+    make_recordings,
+    random_edit_script,
+)
+
+
+class TestMakeRecording:
+    def test_both_media(self, rng):
+        recording = make_recording(
+            TESTBED_1991, "clip", 5.0, rng, video=True, audio=True
+        )
+        assert recording.has_video and recording.has_audio
+        assert len(recording.frames) == 150
+        assert recording.chunks[-1].end_sample == 40000
+
+    def test_video_only(self, rng):
+        recording = make_recording(
+            TESTBED_1991, "clip", 5.0, rng, video=True, audio=False
+        )
+        assert recording.has_video and not recording.has_audio
+
+    def test_tokens_carry_source_name(self, rng):
+        recording = make_recording(TESTBED_1991, "intro", 1.0, rng)
+        assert recording.frames[0].token.startswith("intro:")
+
+    def test_no_media_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            make_recording(
+                TESTBED_1991, "clip", 5.0, rng, video=False, audio=False
+            )
+
+    def test_bad_duration_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            make_recording(TESTBED_1991, "clip", 0.0, rng)
+
+
+class TestMakeRecordings:
+    def test_count_and_names(self):
+        clips = make_recordings(TESTBED_1991, 3, 2.0, seed=5)
+        assert [c.name for c in clips] == ["clip0", "clip1", "clip2"]
+
+    def test_deterministic(self):
+        first = make_recordings(TESTBED_1991, 2, 2.0, seed=5, audio=True)
+        second = make_recordings(TESTBED_1991, 2, 2.0, seed=5, audio=True)
+        assert first == second
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ParameterError):
+            make_recordings(TESTBED_1991, 0, 2.0, seed=5)
+
+
+class TestEditScripts:
+    def test_alternating_operations(self):
+        script = random_edit_script(
+            30.0, 10.0, 6, random.Random(4)
+        )
+        kinds = [step[0] for step in script.steps]
+        assert kinds == ["insert", "delete"] * 3
+
+    def test_positions_stay_legal(self):
+        rng = random.Random(11)
+        script = random_edit_script(30.0, 10.0, 20, rng)
+        current = 30.0
+        for operation, args in script.steps:
+            if operation == "insert":
+                position, start, length = args
+                assert 0 <= position <= current
+                assert 0 <= start
+                assert length > 0
+                current += length
+            else:
+                start, length = args
+                assert 0 <= start
+                assert start + length <= current + 1e-6
+                current -= length
+        assert current > 0
+
+    def test_deterministic(self):
+        a = random_edit_script(30.0, 10.0, 8, random.Random(2))
+        b = random_edit_script(30.0, 10.0, 8, random.Random(2))
+        assert a == b
+
+    def test_rejects_zero_operations(self):
+        with pytest.raises(ParameterError):
+            random_edit_script(30.0, 10.0, 0, random.Random(1))

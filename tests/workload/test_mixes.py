@@ -1,0 +1,44 @@
+"""Unit tests for request mixes."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.workload import ClientSpec, staggered_mix, uniform_mix
+
+
+class TestClientSpec:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ClientSpec(name="c", arrival_round=-1, duration=5.0)
+        with pytest.raises(ParameterError):
+            ClientSpec(name="c", arrival_round=0, duration=0.0)
+        with pytest.raises(ParameterError):
+            ClientSpec(
+                name="c", arrival_round=0, duration=5.0,
+                video=False, audio=False,
+            )
+
+
+class TestUniformMix:
+    def test_all_present_at_round_zero(self):
+        mix = uniform_mix(4, 10.0)
+        assert mix.size == 4
+        assert len(mix.initial()) == 4
+        assert mix.later() == []
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ParameterError):
+            uniform_mix(0, 10.0)
+
+
+class TestStaggeredMix:
+    def test_arrivals_spaced(self):
+        mix = staggered_mix(3, 10.0, rounds_between=5)
+        rounds = [c.arrival_round for c in mix.clients]
+        assert rounds == [0, 5, 10]
+        assert len(mix.initial()) == 1
+        assert [c.arrival_round for c in mix.later()] == [5, 10]
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ParameterError):
+            staggered_mix(3, 10.0, rounds_between=0)
