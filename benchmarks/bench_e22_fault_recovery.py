@@ -1,0 +1,98 @@
+"""E22 — fault injection: glitch rate vs. fault rate under recovery.
+
+Extension experiment (no paper counterpart): sweep the injected fault
+rate over a fixed playback workload and record the resulting glitch rate
+with and without retry recovery.  The trajectory to watch in future
+BENCH_*.json records: with a retry budget, glitch rate tracks the
+*defect* rate only (transients are absorbed); with budget 0 it tracks
+the total fault rate.
+"""
+
+from conftest import emit
+
+from repro.disk import build_drive
+from repro.faults import FaultInjector, FaultPlan, RecoveryPolicy
+from repro.rope.server import BlockFetch
+from repro.service import simulate_pipelined
+
+BLOCKS = 120
+BLOCK_PLAYBACK = 0.1334
+SEED = 22
+#: (transient, defect) counts per sweep point.
+FAULT_MIX = [(0, 0), (3, 1), (6, 2), (12, 4), (24, 8), (48, 16)]
+
+
+def _run_point(transient, defects, budget):
+    drive = build_drive()
+    slots = list(range(0, BLOCKS * 3, 3))
+    fetches = [
+        BlockFetch(
+            slot=slot, bits=drive.block_bits, duration=BLOCK_PLAYBACK
+        )
+        for slot in slots
+    ]
+    plan = FaultPlan.random(
+        seed=SEED, slots=slots, transient=transient, defects=defects
+    )
+    drive.attach_injector(FaultInjector(plan))
+    metrics, _ = simulate_pipelined(
+        fetches,
+        drive,
+        read_ahead=2,
+        recovery=RecoveryPolicy(retry_budget=budget),
+    )
+    return metrics, drive.stats
+
+
+def fault_recovery_sweep():
+    """Glitch rate vs. fault rate, recovered and unrecovered."""
+    rows = []
+    for transient, defects in FAULT_MIX:
+        fault_rate = (transient + defects) / BLOCKS
+        recovered, stats = _run_point(transient, defects, budget=2)
+        bare, _ = _run_point(transient, defects, budget=0)
+        rows.append(
+            {
+                "fault_rate": fault_rate,
+                "glitch_rate_recovered": recovered.miss_ratio,
+                "glitch_rate_budget0": bare.miss_ratio,
+                "retries": stats.retries,
+            }
+        )
+    return rows
+
+
+def _render(rows):
+    lines = [
+        "E22: glitch rate vs fault rate "
+        f"({BLOCKS} blocks, retry budget 2 vs 0)",
+        f"{'fault rate':>10} {'glitch (recovered)':>19} "
+        f"{'glitch (budget 0)':>18} {'retries':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['fault_rate']:>10.3f} "
+            f"{row['glitch_rate_recovered']:>19.3f} "
+            f"{row['glitch_rate_budget0']:>18.3f} "
+            f"{row['retries']:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def test_e22_fault_recovery(benchmark):
+    rows = benchmark.pedantic(
+        fault_recovery_sweep, rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(_render(rows))
+    # Healthy baseline is glitch-free.
+    assert rows[0]["glitch_rate_recovered"] == 0.0
+    assert rows[0]["glitch_rate_budget0"] == 0.0
+    # Without recovery, every fault glitches; with it, only defects do.
+    for row, (transient, defects) in zip(rows, FAULT_MIX):
+        assert round(row["glitch_rate_budget0"] * BLOCKS) == (
+            transient + defects
+        )
+        assert round(row["glitch_rate_recovered"] * BLOCKS) == defects
+    # Glitch rate grows monotonically with fault rate.
+    recovered = [row["glitch_rate_recovered"] for row in rows]
+    assert recovered == sorted(recovered)

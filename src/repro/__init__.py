@@ -43,6 +43,7 @@ from repro import (
     core,
     disk,
     errors,
+    faults,
     fs,
     media,
     rope,
@@ -60,6 +61,7 @@ __all__ = [
     "core",
     "disk",
     "errors",
+    "faults",
     "fs",
     "media",
     "rope",

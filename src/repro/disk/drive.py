@@ -39,6 +39,9 @@ class DriveStats:
     rotation_time: float = 0.0
     transfer_time: float = 0.0
     seek_distance: int = 0
+    faults_injected: int = 0
+    retries: int = 0
+    degraded_reads: int = 0
 
     @property
     def operations(self) -> int:
@@ -59,6 +62,9 @@ class DriveStats:
         self.rotation_time = 0.0
         self.transfer_time = 0.0
         self.seek_distance = 0
+        self.faults_injected = 0
+        self.retries = 0
+        self.degraded_reads = 0
 
 
 class SimulatedDrive:
@@ -109,6 +115,14 @@ class SimulatedDrive:
         self.rng = rng
         self.stats = DriveStats()
         self._head_cylinder = 0
+        self.injector = None
+
+    def attach_injector(self, injector) -> None:
+        """Install a :class:`~repro.faults.injector.FaultInjector`.
+
+        Every subsequent access consults it; pass None to detach.
+        """
+        self.injector = injector
 
     # -- derived sizes -------------------------------------------------------
 
@@ -205,6 +219,12 @@ class SimulatedDrive:
             raise ParameterError(
                 f"slot {slot} outside drive (0..{total_slots - 1})"
             )
+        if self.injector is not None:
+            fault = self.injector.pre_check(slot)
+            if fault is not None:
+                # Dead head: fail fast, no mechanism time charged.
+                self.stats.faults_injected += 1
+                raise fault
         target = self.cylinder_of(slot)
         distance = abs(target - self._head_cylinder)
         seek = self.seek_model.seek_time(distance)
@@ -217,7 +237,17 @@ class SimulatedDrive:
         self.stats.transfer_time += transfer
         self.stats.seek_distance += distance
         self.stats.sectors_transferred += self.sectors_per_block
-        return seek + latency + transfer
+        duration = seek + latency + transfer
+        if self.injector is not None:
+            # The failed attempt's time is already charged above: a fault
+            # is only known once the access has been tried.
+            fault = self.injector.post_check(
+                slot, duration, self.stats.busy_time
+            )
+            if fault is not None:
+                self.stats.faults_injected += 1
+                raise fault
+        return duration
 
     def read_slot(self, slot: int, bits: Optional[float] = None) -> float:
         """Read the block in *slot*; returns the elapsed time in seconds.

@@ -20,6 +20,10 @@ __all__ = [
     "AllocationError",
     "ScatteringError",
     "AddressError",
+    "DiskFaultError",
+    "TransientReadError",
+    "MediaDefectError",
+    "HeadFailureError",
     "StorageError",
     "StrandError",
     "StrandImmutableError",
@@ -108,6 +112,50 @@ class ScatteringError(AllocationError):
 
 class AddressError(DiskError, ValueError):
     """A sector/cylinder address is outside the disk geometry."""
+
+
+class DiskFaultError(DiskError):
+    """Base class for injected/simulated hardware faults.
+
+    ``elapsed`` is the simulated time the failed access consumed before
+    the fault surfaced (a CRC failure is only known after the full
+    transfer); recovery layers must charge it to their clocks.
+    """
+
+    def __init__(self, message: str, slot: int = -1, elapsed: float = 0.0):
+        super().__init__(message)
+        self.slot = slot
+        self.elapsed = elapsed
+
+
+class TransientReadError(DiskFaultError):
+    """A single access failed (soft error); an immediate retry may succeed."""
+
+
+class MediaDefectError(DiskFaultError):
+    """A latent sector error: the slot's media is bad and stays bad.
+
+    Retrying the same slot is futile; recovery must skip or relocate the
+    block.
+    """
+
+
+class HeadFailureError(DiskFaultError):
+    """A whole mechanism (one head of an array) failed permanently.
+
+    Every subsequent access to the drive fails fast; service must degrade
+    to the surviving heads and revalidate admission.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        slot: int = -1,
+        elapsed: float = 0.0,
+        drive_index: int = 0,
+    ):
+        super().__init__(message, slot=slot, elapsed=elapsed)
+        self.drive_index = drive_index
 
 
 # ---------------------------------------------------------------------------

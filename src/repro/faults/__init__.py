@@ -1,0 +1,31 @@
+"""Deterministic fault injection and recovery for the simulated disks.
+
+The paper proves continuity on a healthy disk; this package asks what
+happens when the disk is *not* healthy.  It provides:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a declarative, seed-derived
+  schedule of transient read errors, latent sector errors, and whole-head
+  failures (:mod:`repro.faults.plan`);
+* :class:`FaultInjector` — the plan executor a drive consults on every
+  access (:mod:`repro.faults.injector`);
+* :class:`RecoveryPolicy` / :func:`read_with_recovery` — the bounded,
+  deadline-aware retry loop the service layers share
+  (:mod:`repro.faults.recovery`).
+
+Determinism is the design invariant: randomness is consumed only when a
+plan is drawn from its seed, never while it executes, so the same seed
+and workload replay bit-identical fault histories and metrics.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.recovery import RecoveryPolicy, read_with_recovery
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "RecoveryPolicy",
+    "read_with_recovery",
+]

@@ -1,0 +1,162 @@
+"""Recovery policies: how the service layers respond to injected faults.
+
+The continuity requirement (§3.1) makes fault recovery a *scheduling*
+problem: a retry is only worth issuing if the block can still arrive "at
+or before the time of its playback".  :func:`read_with_recovery`
+implements the bounded retry-with-backoff loop the round service and the
+single-request simulators share:
+
+* a :class:`TransientReadError` is retried up to ``retry_budget`` times,
+  each retry charged its full (failed) access time plus ``retry_backoff``
+  seconds of settle time — unless the next attempt could no longer meet
+  the block's deadline, in which case the block is skipped immediately
+  (a recorded glitch beats a late block *and* a blown round);
+* a :class:`MediaDefectError` is never retried (the media is bad);
+* a :class:`HeadFailureError` propagates, annotated with the time the
+  doomed attempts consumed, so the caller can degrade service and
+  revalidate admission.
+
+Every decision is traced (``fault.inject`` / ``fault.retry`` /
+``fault.skip`` / ``fault.degrade``) so a trace explains every glitch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.disk.drive import SimulatedDrive
+from repro.errors import (
+    HeadFailureError,
+    MediaDefectError,
+    ParameterError,
+    TransientReadError,
+)
+from repro.sim.trace import Tracer
+
+__all__ = ["RecoveryPolicy", "read_with_recovery"]
+
+_NULL_TRACER = Tracer(enabled=False)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded-retry parameters for fault recovery.
+
+    Parameters
+    ----------
+    retry_budget:
+        Maximum re-issued attempts per faulted block.  0 means every
+        transient fault becomes exactly one skip.
+    retry_backoff:
+        Simulated settle time charged before each retry, seconds (e.g.
+        one rotation for a recalibrate).
+    deadline_aware:
+        When True, a retry is abandoned (block skipped) as soon as the
+        clock has passed the block's deadline — spending more mechanism
+        time on an already-late block only steals it from other streams.
+    """
+
+    retry_budget: int = 2
+    retry_backoff: float = 0.0
+    deadline_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retry_budget < 0:
+            raise ParameterError(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+        if self.retry_backoff < 0:
+            raise ParameterError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+
+
+def read_with_recovery(
+    drive: SimulatedDrive,
+    slot: int,
+    bits: Optional[float],
+    policy: RecoveryPolicy,
+    now: float = 0.0,
+    deadline: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
+    subject: str = "",
+) -> Tuple[float, bool]:
+    """Read *slot*, recovering from injected faults per *policy*.
+
+    Returns ``(elapsed, delivered)``: the simulated time consumed
+    (successful read, failed attempts, and backoff alike) and whether
+    the block's data actually arrived.  ``delivered=False`` means the
+    caller must record the skip as a continuity glitch.
+
+    Raises
+    ------
+    HeadFailureError
+        The drive died; ``elapsed`` on the exception includes all time
+        this call consumed before the failure surfaced.
+    """
+    trace = tracer if tracer is not None else _NULL_TRACER
+    elapsed = 0.0
+    attempts = 0
+    while True:
+        try:
+            elapsed += drive.read_slot(slot, bits)
+        except TransientReadError as fault:
+            elapsed += fault.elapsed
+            trace.emit(
+                now + elapsed, "fault.inject", subject,
+                f"transient at slot {slot} (attempt {attempts})",
+            )
+            if attempts >= policy.retry_budget:
+                trace.emit(
+                    now + elapsed, "fault.skip", subject,
+                    f"slot {slot}: retry budget {policy.retry_budget} "
+                    "exhausted",
+                )
+                return elapsed, False
+            if (
+                policy.deadline_aware
+                and deadline is not None
+                and now + elapsed + policy.retry_backoff >= deadline
+            ):
+                trace.emit(
+                    now + elapsed, "fault.skip", subject,
+                    f"slot {slot}: retry would miss deadline "
+                    f"{deadline:.6f}",
+                )
+                return elapsed, False
+            attempts += 1
+            drive.stats.retries += 1
+            elapsed += policy.retry_backoff
+            trace.emit(
+                now + elapsed, "fault.retry", subject,
+                f"slot {slot}: attempt {attempts} of "
+                f"{policy.retry_budget}",
+            )
+            continue
+        except MediaDefectError as fault:
+            elapsed += fault.elapsed
+            trace.emit(
+                now + elapsed, "fault.inject", subject,
+                f"media defect at slot {slot}",
+            )
+            trace.emit(
+                now + elapsed, "fault.skip", subject,
+                f"slot {slot}: media defect is permanent",
+            )
+            return elapsed, False
+        except HeadFailureError as fault:
+            fault.elapsed += elapsed
+            trace.emit(
+                now + fault.elapsed, "fault.inject", subject,
+                f"head {fault.drive_index} failure at slot {slot}",
+            )
+            raise
+        if attempts:
+            drive.stats.degraded_reads += 1
+            trace.emit(
+                now + elapsed, "fault.degrade", subject,
+                f"slot {slot}: recovered after {attempts} "
+                f"retr{'y' if attempts == 1 else 'ies'}",
+            )
+        return elapsed, True

@@ -16,7 +16,7 @@ which replays stored placements through the same drive with timing.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core import admission
@@ -133,6 +133,62 @@ class MultimediaStorageManager:
         self._strands: Dict[str, Strand] = {}
         self._ids = itertools.count(1)
         self._gap_filler = GapFiller(self.freemap)
+        self.degraded_heads = 0
+
+    # -- degraded-mode admission (fault recovery) -------------------------------
+
+    def revalidate_admission(self, heads_lost: int = 1) -> int:
+        """Shrink admission capacity after losing disk heads mid-service.
+
+        Degraded mode derates the analytic transfer rate by the surviving
+        head fraction (each lost head takes its share of the aggregate
+        bandwidth with it), which raises β and therefore lowers the
+        Eq.-(17) capacity ``n_max = ⌈γ/β⌉ − 1``.  Active requests keep
+        playing — degraded, with recovery skips — but no *new* request is
+        admitted against capacity the hardware no longer has.
+
+        Returns the revalidated n_max: for the currently active request
+        set when one exists, else for a representative video request.
+        0 means the server can admit nothing (the last head died).
+        """
+        if heads_lost < 1:
+            raise ParameterError(
+                f"heads_lost must be >= 1, got {heads_lost}"
+            )
+        total = max(1, self.disk_params.heads)
+        surviving = total - heads_lost
+        self.degraded_heads += heads_lost
+        if surviving < 1:
+            # The last mechanism is gone: freeze admission entirely.
+            if hasattr(self.admission, "max_k"):
+                self.admission.max_k = 0
+            return 0
+        self.disk_params = replace(
+            self.disk_params,
+            transfer_rate=self.disk_params.transfer_rate
+            * (surviving / total),
+            heads=surviving,
+        )
+        self.admission.disk = self.disk_params
+        active = dict(getattr(self.admission, "active_requests", {}) or {})
+        requests = list(active.values())
+        if not requests:
+            probe = admission.RequestDescriptor(
+                block=video_block_model(
+                    self.video, self.policies.video.granularity
+                ),
+                scattering_avg=min(
+                    self.policies.video.scattering_upper,
+                    self.disk_params.seek_max,
+                ),
+            )
+            requests = [probe]
+        return max(
+            0,
+            admission.n_max(
+                admission.service_parameters(requests, self.disk_params)
+            ),
+        )
 
     # -- policy derivation -----------------------------------------------------
 

@@ -18,11 +18,12 @@ completes.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.disk.drive import SimulatedDrive
 from repro.disk.raid import DriveArray
-from repro.errors import ParameterError
+from repro.errors import HeadFailureError, ParameterError
+from repro.faults.recovery import RecoveryPolicy, read_with_recovery
 from repro.media.devices import DisplayDevice
 from repro.rope.server import BlockFetch
 from repro.sim.metrics import ContinuityMetrics
@@ -50,9 +51,36 @@ def _score(
     metrics: ContinuityMetrics,
     ready: Sequence[float],
     deadlines: Sequence[float],
+    skipped: Optional[Set[int]] = None,
 ) -> None:
-    for arrival, deadline in zip(ready, deadlines):
-        metrics.record_delivery(arrival, deadline)
+    for index, (arrival, deadline) in enumerate(zip(ready, deadlines)):
+        if skipped and index in skipped:
+            metrics.record_skip(arrival, deadline)
+        else:
+            metrics.record_delivery(arrival, deadline)
+
+
+def _read_block(
+    drive: SimulatedDrive,
+    fetch: BlockFetch,
+    time: float,
+    recovery: RecoveryPolicy,
+) -> Tuple[float, bool]:
+    """One fetch through the (possibly faulty) drive: (time, delivered).
+
+    A head failure is terminal for a single-drive simulator; it is
+    reported as an undelivered block and the drive keeps failing fast for
+    the remainder of the run.
+    """
+    if drive.injector is None:
+        return time + drive.read_slot(fetch.slot, fetch.bits), True
+    try:
+        elapsed, ok = read_with_recovery(
+            drive, fetch.slot, fetch.bits, recovery, now=time
+        )
+    except HeadFailureError as fault:
+        return time + fault.elapsed, False
+    return time + elapsed, ok
 
 
 def simulate_sequential(
@@ -61,6 +89,7 @@ def simulate_sequential(
     display: DisplayDevice,
     request_id: str = "seq",
     read_ahead: int = 0,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> Tuple[ContinuityMetrics, List[float]]:
     """Fig. 1: read a block, display it, read the next (Eq. 1 regime).
 
@@ -70,12 +99,17 @@ def simulate_sequential(
     """
     if read_ahead < 0:
         raise ParameterError(f"read_ahead must be >= 0, got {read_ahead}")
+    policy = recovery if recovery is not None else RecoveryPolicy()
     time = 0.0
     ready: List[float] = []
-    for fetch in fetches:
+    skipped: Set[int] = set()
+    for index, fetch in enumerate(fetches):
         if fetch.slot is not None:
-            time += drive.read_slot(fetch.slot, fetch.bits)
-            time += display.display_time(fetch.bits)
+            time, delivered = _read_block(drive, fetch, time, policy)
+            if delivered:
+                time += display.display_time(fetch.bits)
+            else:
+                skipped.add(index)
         ready.append(time)
     anchor = min(read_ahead, len(ready) - 1) if ready else 0
     start = ready[anchor] if ready else 0.0
@@ -83,7 +117,7 @@ def simulate_sequential(
     # Blocks consumed as read-ahead are ready by definition of the start.
     metrics = ContinuityMetrics(request_id=request_id)
     metrics.startup_latency = start
-    _score(metrics, ready, deadlines)
+    _score(metrics, ready, deadlines, skipped)
     return metrics, ready
 
 
@@ -92,6 +126,7 @@ def simulate_pipelined(
     drive: SimulatedDrive,
     request_id: str = "pipe",
     read_ahead: int = 0,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> Tuple[ContinuityMetrics, List[float]]:
     """Fig. 2: transfers overlap display; back-to-back reads (Eq. 2 regime).
 
@@ -101,18 +136,22 @@ def simulate_pipelined(
     """
     if read_ahead < 0:
         raise ParameterError(f"read_ahead must be >= 0, got {read_ahead}")
+    policy = recovery if recovery is not None else RecoveryPolicy()
     time = 0.0
     ready: List[float] = []
-    for fetch in fetches:
+    skipped: Set[int] = set()
+    for index, fetch in enumerate(fetches):
         if fetch.slot is not None:
-            time += drive.read_slot(fetch.slot, fetch.bits)
+            time, delivered = _read_block(drive, fetch, time, policy)
+            if not delivered:
+                skipped.add(index)
         ready.append(time)
     anchor = min(read_ahead, len(ready) - 1) if ready else 0
     start = ready[anchor] if ready else 0.0
     deadlines = _deadlines(fetches, start)
     metrics = ContinuityMetrics(request_id=request_id)
     metrics.startup_latency = start
-    _score(metrics, ready, deadlines)
+    _score(metrics, ready, deadlines, skipped)
     return metrics, ready
 
 
@@ -120,6 +159,8 @@ def simulate_concurrent(
     fetches: Sequence[BlockFetch],
     array: DriveArray,
     request_id: str = "conc",
+    recovery: Optional[RecoveryPolicy] = None,
+    on_head_failure: Optional[Callable[[HeadFailureError], None]] = None,
 ) -> Tuple[ContinuityMetrics, List[float]]:
     """Fig. 3: p parallel accesses per batch (Eq. 3 regime).
 
@@ -131,10 +172,19 @@ def simulate_concurrent(
     Fetches must carry slots addressed per member drive — i.e. block i's
     ``slot`` is a slot on drive ``i mod p``.  Silence fetches participate
     in the batch structure but cost no disk time.
+
+    Under fault injection the batch degrades rather than aborts: a
+    member whose head dies loses its share of every later stripe (each
+    lost block a recorded skip), and *on_head_failure* fires once per
+    dead member so the caller can revalidate admission against the
+    surviving p.
     """
     p = array.heads
+    policy = recovery if recovery is not None else RecoveryPolicy()
     time = 0.0
     ready: List[float] = []
+    skipped: Set[int] = set()
+    failed_members: Set[int] = set()
     index = 0
     while index < len(fetches):
         batch = fetches[index:index + p]
@@ -142,8 +192,26 @@ def simulate_concurrent(
         for offset, fetch in enumerate(batch):
             if fetch.slot is None:
                 continue
-            member = array.member((index + offset) % p)
-            durations.append(member.read_slot(fetch.slot, fetch.bits))
+            member_index = (index + offset) % p
+            member = array.member(member_index)
+            if member.injector is None:
+                durations.append(member.read_slot(fetch.slot, fetch.bits))
+                continue
+            try:
+                elapsed, ok = read_with_recovery(
+                    member, fetch.slot, fetch.bits, policy, now=time
+                )
+            except HeadFailureError as fault:
+                durations.append(fault.elapsed)
+                skipped.add(index + offset)
+                if member_index not in failed_members:
+                    failed_members.add(member_index)
+                    if on_head_failure is not None:
+                        on_head_failure(fault)
+                continue
+            durations.append(elapsed)
+            if not ok:
+                skipped.add(index + offset)
         batch_time = max(durations) if durations else 0.0
         time += batch_time
         ready.extend([time] * len(batch))
@@ -152,5 +220,5 @@ def simulate_concurrent(
     deadlines = _deadlines(fetches, start)
     metrics = ContinuityMetrics(request_id=request_id)
     metrics.startup_latency = start
-    _score(metrics, ready, deadlines)
+    _score(metrics, ready, deadlines, skipped)
     return metrics, ready

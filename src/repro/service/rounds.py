@@ -23,10 +23,11 @@ request.  It supports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.disk.drive import SimulatedDrive
-from repro.errors import ParameterError
+from repro.errors import HeadFailureError, ParameterError
+from repro.faults.recovery import RecoveryPolicy, read_with_recovery
 from repro.rope.server import BlockFetch
 from repro.sim.metrics import ContinuityMetrics
 from repro.sim.trace import Tracer
@@ -53,6 +54,9 @@ class StreamState:
     metrics: ContinuityMetrics = field(default_factory=ContinuityMetrics)
     #: (ready time, deadline, duration) per delivered block.
     deliveries: List[Tuple[float, float, float]] = field(default_factory=list)
+    #: Delivery indexes whose data never arrived (fault-recovery skips);
+    #: the playback timeline still advances over them (the glitch).
+    skipped_indices: Set[int] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         self.metrics.request_id = self.request_id
@@ -123,6 +127,13 @@ class RoundRobinService:
         passes the admission controller's staged plan through this hook.
     tracer:
         Optional event tracer.
+    recovery:
+        Fault-recovery policy applied when the drive carries a
+        :class:`~repro.faults.injector.FaultInjector`; defaults to the
+        standard bounded retry.
+    on_head_failure:
+        Invoked once, with the :class:`HeadFailureError`, the first time
+        the drive's head dies mid-service (admission revalidation hook).
     """
 
     def __init__(
@@ -130,10 +141,15 @@ class RoundRobinService:
         drive: SimulatedDrive,
         k_schedule: Callable[[int, int], int],
         tracer: Optional[Tracer] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        on_head_failure: Optional[Callable[[HeadFailureError], None]] = None,
     ):
         self.drive = drive
         self.k_schedule = k_schedule
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.on_head_failure = on_head_failure
+        self.head_failure: Optional[HeadFailureError] = None
         self.rounds_run = 0
 
     def _extra_work_pending(self) -> bool:
@@ -222,9 +238,10 @@ class RoundRobinService:
             delivered = 0
             while delivered < quota and not stream.finished:
                 fetch = stream.fetches[stream.next_fetch]
+                skipped = False
                 if fetch.slot is not None:
-                    time += self.drive.read_slot(fetch.slot, fetch.bits)
-                self._deliver(stream, fetch, time)
+                    time, skipped = self._fetch_block(stream, fetch, time)
+                self._deliver(stream, fetch, time, skipped=skipped)
                 stream.next_fetch += 1
                 delivered += 1
                 progressed = True
@@ -246,9 +263,56 @@ class RoundRobinService:
                 )
         return time, progressed
 
-    def _deliver(
-        self, stream: StreamState, fetch: BlockFetch, ready: float
+    def _fetch_block(
+        self, stream: StreamState, fetch: BlockFetch, time: float
+    ) -> Tuple[float, bool]:
+        """Read one block with fault recovery; returns (time, skipped)."""
+        if self.drive.injector is None:
+            # Healthy drive: the original zero-overhead path.
+            return time + self.drive.read_slot(fetch.slot, fetch.bits), False
+        deadline = None
+        if stream.clock_start is not None:
+            deadline = stream.clock_start + stream._elapsed_playback
+        try:
+            elapsed, ok = read_with_recovery(
+                self.drive,
+                fetch.slot,
+                fetch.bits,
+                self.recovery,
+                now=time,
+                deadline=deadline,
+                tracer=self.tracer,
+                subject=stream.request_id,
+            )
+        except HeadFailureError as fault:
+            self._note_head_failure(fault, time + fault.elapsed)
+            return time + fault.elapsed, True
+        return time + elapsed, not ok
+
+    def _note_head_failure(
+        self, fault: HeadFailureError, time: float
     ) -> None:
+        """Record the (first) head failure and fire the degrade hook."""
+        if self.head_failure is not None:
+            return
+        self.head_failure = fault
+        self.tracer.emit(
+            time, "fault.degrade", "service",
+            f"head {fault.drive_index} lost; degraded service, "
+            "admission revalidation requested",
+        )
+        if self.on_head_failure is not None:
+            self.on_head_failure(fault)
+
+    def _deliver(
+        self,
+        stream: StreamState,
+        fetch: BlockFetch,
+        ready: float,
+        skipped: bool = False,
+    ) -> None:
+        if skipped:
+            stream.skipped_indices.add(len(stream.deliveries))
         if stream.clock_start is None:
             # Deadline unknown until the clock starts; placeholder scored
             # in _rescore.
@@ -257,7 +321,10 @@ class RoundRobinService:
         deadline = stream.clock_start + stream._elapsed_playback
         stream._elapsed_playback += fetch.duration
         stream.deliveries.append((ready, deadline, fetch.duration))
-        stream.metrics.record_delivery(ready, deadline)
+        if skipped:
+            stream.metrics.record_skip(ready, deadline)
+        else:
+            stream.metrics.record_delivery(ready, deadline)
         high = stream.buffered_at(ready)
         stream.metrics.buffer_high_water = max(
             stream.metrics.buffer_high_water, high
@@ -269,10 +336,15 @@ class RoundRobinService:
         assert start is not None
         rescored: List[Tuple[float, float, float]] = []
         elapsed = 0.0
-        for ready, _deadline, duration in stream.deliveries:
+        for index, (ready, _deadline, duration) in enumerate(
+            stream.deliveries
+        ):
             deadline = start + elapsed
             elapsed += duration
             rescored.append((ready, deadline, duration))
-            stream.metrics.record_delivery(ready, deadline)
+            if index in stream.skipped_indices:
+                stream.metrics.record_skip(ready, deadline)
+            else:
+                stream.metrics.record_delivery(ready, deadline)
         stream.deliveries = rescored
         stream._elapsed_playback = elapsed

@@ -14,7 +14,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.buffering import buffers_for_average_continuity
 from repro.core.continuity import Architecture
-from repro.errors import ParameterError
+from repro.errors import HeadFailureError, ParameterError
+from repro.faults.recovery import RecoveryPolicy
 from repro.rope.server import MultimediaRopeServer, PlaybackPlan
 from repro.service.rounds import Admission, RoundRobinService, StreamState
 from repro.sim.metrics import ContinuityMetrics
@@ -30,6 +31,8 @@ class SessionResult:
     metrics: Dict[str, ContinuityMetrics]
     rounds: int
     k_used: int
+    head_failure: Optional[HeadFailureError] = None
+    degraded_n_max: Optional[int] = None
 
     @property
     def all_continuous(self) -> bool:
@@ -40,6 +43,19 @@ class SessionResult:
     def total_misses(self) -> int:
         """Summed deadline misses across requests."""
         return sum(m.misses for m in self.metrics.values())
+
+    @property
+    def total_skips(self) -> int:
+        """Summed fault-recovery skips across requests."""
+        return sum(m.skips for m in self.metrics.values())
+
+    def summary(self) -> str:
+        """Canonical multi-line rendering (byte-stable; see
+        :meth:`ContinuityMetrics.summary`), one line per request in
+        request-id order."""
+        return "\n".join(
+            self.metrics[rid].summary() for rid in sorted(self.metrics)
+        )
 
 
 def staged_k_schedule(
@@ -80,6 +96,9 @@ class PlaybackSession:
         admission controller.
     architecture:
         Governs buffer sizing (2k for pipelined, §3.3.2).
+    recovery:
+        Fault-recovery policy forwarded to the round service (applies
+        only when the drive carries a fault injector).
     """
 
     def __init__(
@@ -87,10 +106,24 @@ class PlaybackSession:
         server: MultimediaRopeServer,
         architecture: Architecture = Architecture.PIPELINED,
         tracer: Optional[Tracer] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         self.server = server
         self.architecture = architecture
         self.tracer = tracer
+        self.recovery = recovery
+        self._degraded_n_max: Optional[int] = None
+
+    def _on_head_failure(self, fault: HeadFailureError) -> None:
+        """Degrade admission the moment a head dies mid-round.
+
+        The storage manager recomputes its analytic parameters with the
+        surviving head count, shrinking ``n_max`` so no *new* request is
+        admitted against capacity the hardware no longer has.
+        """
+        self._degraded_n_max = self.server.msm.revalidate_admission(
+            heads_lost=1
+        )
 
     def _stream_for(
         self, request_id: str, k: int
@@ -162,9 +195,17 @@ class PlaybackSession:
             for round_number, rid in admissions
         ]
         service = RoundRobinService(
-            self.server.msm.drive, k_schedule, tracer=self.tracer
+            self.server.msm.drive,
+            k_schedule,
+            tracer=self.tracer,
+            recovery=self.recovery,
+            on_head_failure=self._on_head_failure,
         )
         metrics = service.run(initial, later)
         return SessionResult(
-            metrics=metrics, rounds=service.rounds_run, k_used=k
+            metrics=metrics,
+            rounds=service.rounds_run,
+            k_used=k,
+            head_failure=service.head_failure,
+            degraded_n_max=self._degraded_n_max,
         )

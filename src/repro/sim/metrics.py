@@ -26,6 +26,7 @@ class ContinuityMetrics:
     request_id: str = ""
     blocks_delivered: int = 0
     misses: int = 0
+    skips: int = 0
     total_lateness: float = 0.0
     max_lateness: float = 0.0
     startup_latency: float = 0.0
@@ -42,17 +43,38 @@ class ContinuityMetrics:
             self.total_lateness += late
             self.max_lateness = max(self.max_lateness, late)
 
+    def record_skip(self, given_up: float, deadline: float) -> None:
+        """Score a block whose data never arrived (fault recovery gave up).
+
+        A skip is always a glitch — the display substitutes (repeats the
+        previous frame, mutes the audio) for the block's playback period
+        — so it counts as a miss even when recovery abandoned it ahead of
+        the deadline to protect the rest of the round.
+        """
+        self.skips += 1
+        self.misses += 1
+        late = given_up - deadline
+        if late > 0:
+            self.total_lateness += late
+            self.max_lateness = max(self.max_lateness, late)
+
     @property
     def continuous(self) -> bool:
         """True when no block missed its deadline."""
         return self.misses == 0
 
     @property
+    def glitches(self) -> int:
+        """Visible playback defects: late blocks plus skipped blocks."""
+        return self.misses
+
+    @property
     def miss_ratio(self) -> float:
-        """Fraction of blocks that missed."""
-        if self.blocks_delivered == 0:
+        """Fraction of blocks that missed (skips included)."""
+        total = self.blocks_delivered + self.skips
+        if total == 0:
             return 0.0
-        return self.misses / self.blocks_delivered
+        return self.misses / total
 
     @property
     def mean_lateness(self) -> float:
@@ -67,6 +89,24 @@ class ContinuityMetrics:
         if not self._lateness_samples:
             return 0.0
         return max(self._lateness_samples) - min(self._lateness_samples)
+
+    def summary(self) -> str:
+        """Canonical one-line rendering, stable to the last bit.
+
+        Floats are printed with :func:`repr`-exact precision so two runs
+        are comparable byte-for-byte — the determinism contract the
+        chaos tests replay against.
+        """
+        return (
+            f"request={self.request_id}"
+            f" delivered={self.blocks_delivered}"
+            f" misses={self.misses}"
+            f" skips={self.skips}"
+            f" total_lateness={self.total_lateness!r}"
+            f" max_lateness={self.max_lateness!r}"
+            f" startup={self.startup_latency!r}"
+            f" high_water={self.buffer_high_water}"
+        )
 
 
 @dataclass

@@ -148,3 +148,57 @@ class TestProcesses:
         engine.run()
         assert engine.processes_spawned == 1
         assert engine.events_executed >= 1
+
+
+class TestDeterminism:
+    """Regression guard for the tie-break sequence number.
+
+    Fault scheduling keys off operation order, so two runs of the same
+    spawned processes must execute the same events in the same order —
+    including events scheduled for the exact same instant.
+    """
+
+    @staticmethod
+    def _run_once():
+        engine = Engine()
+        order = []
+
+        def process(name, delays):
+            for delay in delays:
+                order.append((engine.now, name))
+                yield delay
+            order.append((engine.now, name))
+
+        engine.spawn(process("a", [0.5, 0.25, 0.25]))
+        engine.spawn(process("b", [0.25, 0.25, 0.5]))
+        engine.spawn(process("c", [1.0, 0.0, 0.0]))
+        engine.at(0.5, lambda: order.append((engine.now, "timer")))
+        final = engine.run()
+        return engine.events_executed, final, order
+
+    def test_two_runs_identical_events_and_order(self):
+        first = self._run_once()
+        second = self._run_once()
+        assert first[0] == second[0]  # events_executed
+        assert first == second
+
+    def test_equal_time_events_fire_in_scheduling_order(self):
+        engine = Engine()
+        fired = []
+        for name in ("first", "second", "third"):
+            engine.at(1.0, lambda n=name: fired.append(n))
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_zero_delay_wakeups_preserve_spawn_order(self):
+        engine = Engine()
+        fired = []
+
+        def process(name):
+            yield 0.0
+            fired.append(name)
+
+        for name in ("x", "y", "z"):
+            engine.spawn(process(name))
+        engine.run()
+        assert fired == ["x", "y", "z"]

@@ -93,3 +93,54 @@ class TestTracer:
         text = tracer.render()
         assert "dropped" in text
         assert "tag" in text
+
+
+class TestTracerFifoTruncation:
+    """The FIFO drop path in detail: chaos soak runs emit millions of
+    events, so bounded retention must keep exactly the newest `limit`
+    records, count every drop, and say so when rendered."""
+
+    def test_retains_exactly_the_newest_limit_events(self):
+        tracer = Tracer(limit=5)
+        for i in range(12):
+            tracer.emit(float(i), "tick", "soak", str(i))
+        assert len(tracer) == 5
+        assert tracer.dropped == 7
+        assert [event.detail for event in tracer] == [
+            "7", "8", "9", "10", "11"
+        ]
+
+    def test_drop_order_is_strictly_oldest_first(self):
+        tracer = Tracer(limit=3)
+        for i in range(3):
+            tracer.emit(float(i), "t", "s", str(i))
+        assert tracer.dropped == 0
+        tracer.emit(3.0, "t", "s", "3")
+        assert [event.detail for event in tracer] == ["1", "2", "3"]
+        tracer.emit(4.0, "t", "s", "4")
+        assert [event.detail for event in tracer] == ["2", "3", "4"]
+        assert tracer.dropped == 2
+
+    def test_large_volume_stays_bounded_and_counts_all_drops(self):
+        limit = 100
+        total = 25_000
+        tracer = Tracer(limit=limit)
+        for i in range(total):
+            tracer.emit(float(i), "fault.inject", "soak", str(i))
+        assert len(tracer) == limit
+        assert tracer.dropped == total - limit
+        assert [event.detail for event in tracer][0] == str(total - limit)
+        assert tracer.counts_by_tag() == {"fault.inject": limit}
+
+    def test_render_reports_the_drop_count(self):
+        tracer = Tracer(limit=2)
+        for i in range(9):
+            tracer.emit(float(i), "t", "s")
+        assert "... 7 earlier events dropped ..." in tracer.render()
+
+    def test_disabled_tracer_never_drops(self):
+        tracer = Tracer(enabled=False, limit=1)
+        for i in range(10):
+            tracer.emit(float(i), "t", "s")
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
