@@ -1,6 +1,6 @@
 """E10 — §4: silence elimination storage savings."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e10_silence
 from repro.analysis.report import render_series
@@ -8,7 +8,7 @@ from repro.analysis.report import render_series
 
 def test_e10_silence_elimination(benchmark):
     result = benchmark.pedantic(
-        e10_silence, rounds=3, iterations=1, warmup_rounds=1
+        e10_silence, **pedantic_args()
     )
     emit(result.table, render_series(result.series))
     assert result.series.ys == sorted(result.series.ys)

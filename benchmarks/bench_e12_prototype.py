@@ -1,6 +1,6 @@
 """E12 — §5: end-to-end prototype session at the admission limit."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e12_prototype
 from repro.analysis.report import render_series
@@ -8,7 +8,7 @@ from repro.analysis.report import render_series
 
 def test_e12_prototype_session(benchmark):
     result = benchmark.pedantic(
-        e12_prototype, rounds=3, iterations=1, warmup_rounds=1
+        e12_prototype, **pedantic_args()
     )
     emit(result.table, render_series(result.startup_series))
     emit(f"admission refused request #{result.rejected_at}")

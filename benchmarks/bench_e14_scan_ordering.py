@@ -1,13 +1,13 @@
 """E14 — §6.2 extension: seek-minimizing request service order."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e14_scan_ordering
 
 
 def test_e14_scan_vs_round_robin(benchmark):
     result = benchmark.pedantic(
-        e14_scan_ordering, rounds=3, iterations=1, warmup_rounds=1
+        e14_scan_ordering, **pedantic_args()
     )
     emit(result.table)
     assert result.scan_mean_round <= result.rr_mean_round

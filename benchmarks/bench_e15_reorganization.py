@@ -1,13 +1,13 @@
 """E15 — §6.2 extension: storage reorganization on a dense disk."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e15_reorganization
 
 
 def test_e15_reorganization(benchmark):
     result = benchmark.pedantic(
-        e15_reorganization, rounds=3, iterations=1, warmup_rounds=1
+        e15_reorganization, **pedantic_args()
     )
     emit(result.table)
     assert not result.feasible_before

@@ -1,13 +1,13 @@
 """E16 — §3.3.2: fast-forward and slow-motion playback behaviours."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e16_variable_speed
 
 
 def test_e16_variable_speed(benchmark):
     result = benchmark.pedantic(
-        e16_variable_speed, rounds=3, iterations=1, warmup_rounds=1
+        e16_variable_speed, **pedantic_args()
     )
     emit(result.table)
     skip = result.rows["fast-forward 2x, skipping"]

@@ -1,13 +1,13 @@
 """E17 — Fig. 3 end to end: striped storage on multi-head arrays."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e17_striping
 
 
 def test_e17_striped_storage(benchmark):
     result = benchmark.pedantic(
-        e17_striping, rounds=3, iterations=1, warmup_rounds=1
+        e17_striping, **pedantic_args()
     )
     emit(result.table)
     assert all(m == 0 for m in result.misses_by_heads.values())

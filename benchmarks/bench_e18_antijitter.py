@@ -1,13 +1,13 @@
 """E18 — §3.3.1: strict vs average continuity under timing jitter."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e18_antijitter
 
 
 def test_e18_antijitter_readahead(benchmark):
     result = benchmark.pedantic(
-        e18_antijitter, rounds=3, iterations=1, warmup_rounds=1
+        e18_antijitter, **pedantic_args()
     )
     emit(result.table)
     assert result.misses_by_readahead[0] > 0

@@ -1,13 +1,13 @@
 """E19 — §3: the unified media + text file server."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e19_unified_server
 
 
 def test_e19_unified_server(benchmark):
     result = benchmark.pedantic(
-        e19_unified_server, rounds=3, iterations=1, warmup_rounds=1
+        e19_unified_server, **pedantic_args()
     )
     emit(result.table)
     assert all(m == 0 for m in result.media_misses_by_load.values())

@@ -1,13 +1,13 @@
 """E1 — Figs. 1-3 / Eqs. (1)-(3): retrieval-architecture continuity bounds."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e1_architectures
 
 
 def test_e1_architecture_bounds(benchmark):
     result = benchmark.pedantic(
-        e1_architectures, rounds=3, iterations=1, warmup_rounds=1
+        e1_architectures, **pedantic_args()
     )
     emit(result.table)
     assert all(m == 0 for m in result.misses_inside.values())

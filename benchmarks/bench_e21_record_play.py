@@ -1,13 +1,13 @@
 """E21 — §3/§3.4: concurrent storage + retrieval in one service loop."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e21_record_and_play
 
 
 def test_e21_concurrent_record_play(benchmark):
     result = benchmark.pedantic(
-        e21_record_and_play, rounds=3, iterations=1, warmup_rounds=1
+        e21_record_and_play, **pedantic_args()
     )
     emit(result.table)
     assert result.misses_by_load["1 record + 1 play"] == 0

@@ -8,7 +8,7 @@ BENCH_*.json records: with a retry budget, glitch rate tracks the
 the total fault rate.
 """
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.disk import build_drive
 from repro.faults import FaultInjector, FaultPlan, RecoveryPolicy
@@ -81,7 +81,7 @@ def _render(rows):
 
 def test_e22_fault_recovery(benchmark):
     rows = benchmark.pedantic(
-        fault_recovery_sweep, rounds=3, iterations=1, warmup_rounds=1
+        fault_recovery_sweep, **pedantic_args()
     )
     emit(_render(rows))
     # Healthy baseline is glitch-free.

@@ -1,13 +1,13 @@
 """E3 — §3.4: naive k jump vs the staged Eq.-(18) transition."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e3_transition
 
 
 def test_e3_transition_continuity(benchmark):
     result = benchmark.pedantic(
-        e3_transition, rounds=3, iterations=1, warmup_rounds=1
+        e3_transition, **pedantic_args()
     )
     emit(result.table)
     assert result.staged_misses == 0

@@ -1,13 +1,13 @@
 """E4 — §3: constrained vs random vs contiguous allocation."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e4_allocation
 
 
 def test_e4_allocation_disciplines(benchmark):
     result = benchmark.pedantic(
-        e4_allocation, rounds=3, iterations=1, warmup_rounds=1
+        e4_allocation, **pedantic_args()
     )
     emit(result.table)
     assert result.read_ahead_needed["constrained"] == 0

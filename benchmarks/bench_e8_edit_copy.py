@@ -1,13 +1,13 @@
 """E8 — §4.2 / Eqs. (19)-(20): seam-repair copying vs disk occupancy."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e8_edit_copy
 
 
 def test_e8_editing_copy_bounds(benchmark):
     result = benchmark.pedantic(
-        e8_edit_copy, rounds=3, iterations=1, warmup_rounds=1
+        e8_edit_copy, **pedantic_args()
     )
     emit(result.table)
     sparse_bound, _ = result.bounds["sparse"]

@@ -1,13 +1,13 @@
 """E9 — §4.1: rope operations are pointer manipulation, plus GC sharing."""
 
-from conftest import emit
+from conftest import emit, pedantic_args
 
 from repro.analysis import e9_rope_ops
 
 
 def test_e9_rope_operation_cost(benchmark):
     result = benchmark.pedantic(
-        e9_rope_ops, rounds=3, iterations=1, warmup_rounds=1
+        e9_rope_ops, **pedantic_args()
     )
     emit(result.table, result.gc_behaviour)
     assert all(c == 0 for c in result.media_blocks_copied.values())

@@ -46,6 +46,7 @@ from repro import (
     faults,
     fs,
     media,
+    obs,
     rope,
     service,
     sim,
@@ -64,6 +65,7 @@ __all__ = [
     "faults",
     "fs",
     "media",
+    "obs",
     "rope",
     "service",
     "sim",

@@ -11,6 +11,9 @@ Commands
     tables — the figure-regeneration harness without pytest.
 ``demo``
     The quickstart flow: derive policy, record a clip, play it back.
+``obs-report [--faults] [--json] [--profile-timers]``
+    Run a canonical observed scenario and print its observability
+    report (or raw snapshot JSON) — see :mod:`repro.obs.scenarios`.
 """
 
 from __future__ import annotations
@@ -171,6 +174,26 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if metrics.continuous else 1
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.scenarios import run_fault_scenario, run_steady_scenario
+
+    if args.faults:
+        run = run_fault_scenario(
+            seconds=args.seconds,
+            seed=args.seed,
+            head_failure_at_op=args.head_failure_at_op,
+        )
+    else:
+        run = run_steady_scenario(seconds=args.seconds)
+    if args.json:
+        print(run.snapshot(include_profile=args.profile_timers))
+    else:
+        print(run.obs.report())
+        print()
+        print(run.result.summary())
+    return 0 if run.result.total_misses == run.result.total_skips else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -208,6 +231,33 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seconds", type=float, default=10.0)
     demo.add_argument("--seed", type=int, default=2026)
     demo.set_defaults(handler=_cmd_demo)
+
+    obs_report = commands.add_parser(
+        "obs-report",
+        help="run an observed scenario and print its telemetry",
+    )
+    obs_report.add_argument(
+        "--faults", action="store_true",
+        help="run the fault-injection scenario instead of steady state",
+    )
+    obs_report.add_argument(
+        "--json", action="store_true",
+        help="print the raw snapshot JSON instead of the report",
+    )
+    obs_report.add_argument(
+        "--profile-timers", action="store_true",
+        help="include wall-clock timer data (not byte-stable) in --json",
+    )
+    obs_report.add_argument("--seconds", type=float, default=4.0)
+    obs_report.add_argument(
+        "--seed", type=int, default=20260806,
+        help="fault-plan seed (with --faults)",
+    )
+    obs_report.add_argument(
+        "--head-failure-at-op", type=int, default=None,
+        help="inject a head failure at this disk-op index (with --faults)",
+    )
+    obs_report.set_defaults(handler=_cmd_obs_report)
     return parser
 
 

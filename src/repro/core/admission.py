@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.symbols import BlockModel, DiskParameters
 from repro.errors import AdmissionRejected, ParameterError
+from repro.obs.audit import AdmissionAuditLog
 
 __all__ = [
     "RequestDescriptor",
@@ -369,10 +370,15 @@ class AdmissionController:
         would push k beyond this bound is rejected as effectively at
         capacity ("it is desirable to use the minimum possible value of
         k", §3.4).
+    audit:
+        Optional :class:`~repro.obs.audit.AdmissionAuditLog`; when set,
+        every admit/reject is recorded with the exact inequality and
+        operand values the verdict turned on.
     """
 
     disk: DiskParameters
     max_k: int = 10_000
+    audit: Optional[AdmissionAuditLog] = None
     _active: Dict[int, RequestDescriptor] = field(default_factory=dict)
     _k: int = 0
     _ids: "itertools.count[int]" = field(default_factory=itertools.count)
@@ -420,6 +426,7 @@ class AdmissionController:
         """
         params = self.parameters(extra=candidate)
         if _headroom(params) <= 0:
+            self._audit_headroom(params, satisfied=False)
             raise AdmissionRejected(
                 f"request rejected: admitting it would make n={params.n} "
                 f"exceed n_max={n_max(params)}",
@@ -428,6 +435,20 @@ class AdmissionController:
             )
         new_k = k_transition(params)
         if new_k > self.max_k:
+            if self.audit is not None:
+                self.audit.record(
+                    "reject",
+                    f"candidate(n={params.n})",
+                    "k <= max_k",
+                    {
+                        "k": new_k,
+                        "max_k": self.max_k,
+                        "n": params.n,
+                        "n_max": n_max(params),
+                    },
+                    satisfied=False,
+                    detail="Eq.-18 k diverging near capacity",
+                )
             raise AdmissionRejected(
                 f"request rejected: k={new_k} would exceed the server's "
                 f"operating bound {self.max_k} (effectively at capacity)",
@@ -438,8 +459,44 @@ class AdmissionController:
         request_id = next(self._ids)
         self._active[request_id] = candidate
         self._k = max(new_k, 1)
+        self._audit_headroom(
+            params, satisfied=True,
+            subject=f"request-{request_id}",
+            detail=f"k={self._k} transition_steps={len(plan.steps)}",
+        )
         return AdmissionDecision(
             request_id=request_id, params=params, k=self._k, transition=plan
+        )
+
+    def _audit_headroom(
+        self,
+        params: ServiceParameters,
+        satisfied: bool,
+        subject: Optional[str] = None,
+        detail: str = "",
+    ) -> None:
+        """Log the Eq.-(15) headroom verdict with its exact operands.
+
+        The logged constraint mirrors :func:`_headroom`'s clamped test
+        bit-for-bit, so re-evaluating it from the operands reproduces
+        the decision.
+        """
+        if self.audit is None:
+            return
+        self.audit.record(
+            "admit" if satisfied else "reject",
+            subject or f"candidate(n={params.n})",
+            "gamma - n * beta > gamma * epsilon",
+            {
+                "alpha": params.alpha,
+                "beta": params.beta,
+                "gamma": params.gamma,
+                "n": params.n,
+                "epsilon": _HEADROOM_EPSILON,
+                "n_max": n_max(params),
+            },
+            satisfied=satisfied,
+            detail=detail or f"n_max={n_max(params)}",
         )
 
     def release(self, request_id: int) -> TransitionPlan:

@@ -15,15 +15,17 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.admission import (
     RequestDescriptor,
     round_feasible,
+    round_time,
     solve_heterogeneous_k,
 )
 from repro.core.symbols import DiskParameters
 from repro.errors import AdmissionRejected, ParameterError
+from repro.obs.audit import AdmissionAuditLog
 
 __all__ = ["GeneralAdmissionDecision", "GeneralAdmissionController"]
 
@@ -46,6 +48,7 @@ class GeneralAdmissionController:
 
     disk: DiskParameters
     budget_limit: float = 300.0
+    audit: Optional[AdmissionAuditLog] = None
     _active: Dict[int, RequestDescriptor] = field(default_factory=dict)
     _k_values: Dict[int, int] = field(default_factory=dict)
     _ids: "itertools.count[int]" = field(default_factory=itertools.count)
@@ -92,6 +95,7 @@ class GeneralAdmissionController:
         mix = [self._active[i] for i in ids] + [candidate]
         solution = solve_heterogeneous_k(mix, self.disk, self.budget_limit)
         if solution is None:
+            self._audit_feasibility(mix, None)
             raise AdmissionRejected(
                 "request rejected: no per-request k satisfies Eq. (11) "
                 f"for the {len(mix)}-request mix",
@@ -99,6 +103,7 @@ class GeneralAdmissionController:
                 n_max=self.active_count,
             )
         assert round_feasible(mix, self.disk, solution)
+        self._audit_feasibility(mix, solution)
         request_id = next(self._ids)
         ids.append(request_id)
         self._active[request_id] = candidate
@@ -111,6 +116,57 @@ class GeneralAdmissionController:
             request_id=request_id,
             k_values=self.k_values(),
             transition_rounds=transition,
+        )
+
+    def _audit_feasibility(self, mix, solution) -> None:
+        """Log the Eq.-(11) verdict with its recomputable operands.
+
+        On a reject the per-request k_i are re-derived at the solver's
+        budget limit — feasibility is monotone in the budget, so the
+        logged inequality is false there iff no budget worked.
+        """
+        if self.audit is None:
+            return
+        import math
+
+        def k_for(budget_value):
+            return [
+                max(1, math.ceil(budget_value / r.block_playback))
+                for r in mix
+            ]
+
+        if solution is None:
+            # Replay the solver's doubling sequence and log the last
+            # infeasible point it tested, so the recorded inequality is
+            # false by construction.
+            b = min(r.block_playback for r in mix)
+            ks = k_for(b)
+            while True:
+                probe = k_for(b)
+                if round_time(mix, self.disk, probe) > min(
+                    k * r.block_playback for k, r in zip(probe, mix)
+                ):
+                    ks = probe
+                b *= 2.0
+                if b > self.budget_limit:
+                    break
+        else:
+            ks = list(solution)
+        duration = round_time(mix, self.disk, ks)
+        budget = min(
+            k * r.block_playback for k, r in zip(ks, mix)
+        )
+        self.audit.record(
+            "admit" if solution is not None else "reject",
+            f"mix(n={len(mix)})",
+            "round_seconds <= playback_budget_seconds",
+            {
+                "round_seconds": duration,
+                "playback_budget_seconds": budget,
+                "n": len(mix),
+            },
+            satisfied=solution is not None,
+            detail=f"k_values={ks}",
         )
 
     def release(self, request_id: int) -> None:

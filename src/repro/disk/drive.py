@@ -116,6 +116,9 @@ class SimulatedDrive:
         self.stats = DriveStats()
         self._head_cylinder = 0
         self.injector = None
+        self.obs = None
+        self._obs_seek_hist = None
+        self._obs_access_counter = None
 
     def attach_injector(self, injector) -> None:
         """Install a :class:`~repro.faults.injector.FaultInjector`.
@@ -123,6 +126,25 @@ class SimulatedDrive:
         Every subsequent access consults it; pass None to detach.
         """
         self.injector = injector
+
+    def attach_observer(self, obs) -> None:
+        """Install an :class:`~repro.obs.Observability` handle.
+
+        Instruments are resolved once here so the observed access path
+        costs two attribute calls, and the unobserved path (the default)
+        stays a single ``is None`` test.  Pass None to detach.
+        """
+        self.obs = obs
+        if obs is None:
+            self._obs_seek_hist = None
+            self._obs_access_counter = None
+            return
+        from repro.obs.registry import SEEK_TIME_BUCKETS
+
+        self._obs_seek_hist = obs.registry.histogram(
+            "disk.seek_s", SEEK_TIME_BUCKETS
+        )
+        self._obs_access_counter = obs.registry.counter("disk.accesses")
 
     # -- derived sizes -------------------------------------------------------
 
@@ -238,6 +260,9 @@ class SimulatedDrive:
         self.stats.seek_distance += distance
         self.stats.sectors_transferred += self.sectors_per_block
         duration = seek + latency + transfer
+        if self.obs is not None:
+            self._obs_access_counter.inc()
+            self._obs_seek_hist.observe(seek)
         if self.injector is not None:
             # The failed attempt's time is already charged above: a fault
             # is only known once the access has been tried.

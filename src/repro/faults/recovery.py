@@ -17,7 +17,10 @@ single-request simulators share:
   revalidate admission.
 
 Every decision is traced (``fault.inject`` / ``fault.retry`` /
-``fault.skip`` / ``fault.degrade``) so a trace explains every glitch.
+``fault.skip`` / ``fault.degrade``) so a trace explains every glitch,
+and mirrored into the observability counters (``fault.injected`` /
+``fault.retries`` / ``fault.skips`` / ``fault.recovered_reads``) when an
+:class:`~repro.obs.Observability` handle is supplied.
 """
 
 from __future__ import annotations
@@ -81,6 +84,7 @@ def read_with_recovery(
     deadline: Optional[float] = None,
     tracer: Optional[Tracer] = None,
     subject: str = "",
+    obs=None,
 ) -> Tuple[float, bool]:
     """Read *slot*, recovering from injected faults per *policy*.
 
@@ -96,6 +100,7 @@ def read_with_recovery(
         this call consumed before the failure surfaced.
     """
     trace = tracer if tracer is not None else _NULL_TRACER
+    counters = obs.registry if obs is not None else None
     elapsed = 0.0
     attempts = 0
     while True:
@@ -107,12 +112,16 @@ def read_with_recovery(
                 now + elapsed, "fault.inject", subject,
                 f"transient at slot {slot} (attempt {attempts})",
             )
+            if counters is not None:
+                counters.counter("fault.injected").inc()
             if attempts >= policy.retry_budget:
                 trace.emit(
                     now + elapsed, "fault.skip", subject,
                     f"slot {slot}: retry budget {policy.retry_budget} "
                     "exhausted",
                 )
+                if counters is not None:
+                    counters.counter("fault.skips").inc()
                 return elapsed, False
             if (
                 policy.deadline_aware
@@ -124,6 +133,9 @@ def read_with_recovery(
                     f"slot {slot}: retry would miss deadline "
                     f"{deadline:.6f}",
                 )
+                if counters is not None:
+                    counters.counter("fault.skips").inc()
+                    counters.counter("fault.deadline_abandons").inc()
                 return elapsed, False
             attempts += 1
             drive.stats.retries += 1
@@ -133,6 +145,8 @@ def read_with_recovery(
                 f"slot {slot}: attempt {attempts} of "
                 f"{policy.retry_budget}",
             )
+            if counters is not None:
+                counters.counter("fault.retries").inc()
             continue
         except MediaDefectError as fault:
             elapsed += fault.elapsed
@@ -144,6 +158,9 @@ def read_with_recovery(
                 now + elapsed, "fault.skip", subject,
                 f"slot {slot}: media defect is permanent",
             )
+            if counters is not None:
+                counters.counter("fault.injected").inc()
+                counters.counter("fault.skips").inc()
             return elapsed, False
         except HeadFailureError as fault:
             fault.elapsed += elapsed
@@ -151,6 +168,9 @@ def read_with_recovery(
                 now + fault.elapsed, "fault.inject", subject,
                 f"head {fault.drive_index} failure at slot {slot}",
             )
+            if counters is not None:
+                counters.counter("fault.injected").inc()
+                counters.counter("fault.head_failures").inc()
             raise
         if attempts:
             drive.stats.degraded_reads += 1
@@ -159,4 +179,6 @@ def read_with_recovery(
                 f"slot {slot}: recovered after {attempts} "
                 f"retr{'y' if attempts == 1 else 'ies'}",
             )
+            if counters is not None:
+                counters.counter("fault.recovered_reads").inc()
         return elapsed, True

@@ -15,6 +15,7 @@ which replays stored placements through the same drive with timing.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
@@ -96,6 +97,11 @@ class MultimediaStorageManager:
         the Eq.-11 general form) instead of the paper's uniform-k
         algorithm — admits mixed audio+video populations the averaged
         model rejects.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle.  When given,
+        it is attached to the drive, its audit log is wired into the
+        admission controller, and the storage hot paths report into its
+        profiling timers; sessions built over this MSM inherit it.
     """
 
     def __init__(
@@ -109,8 +115,12 @@ class MultimediaStorageManager:
         copy_budget: int = 4,
         freemap: Optional[FreeMap] = None,
         general_admission: bool = False,
+        obs=None,
     ):
         self.drive = drive
+        self.obs = obs
+        if obs is not None:
+            drive.attach_observer(obs)
         self.freemap = freemap if freemap is not None else FreeMap(drive.slots)
         self.video = video
         self.audio = audio
@@ -128,6 +138,8 @@ class MultimediaStorageManager:
             self.admission = GeneralAdmissionController(self.disk_params)
         else:
             self.admission = admission.AdmissionController(self.disk_params)
+        if obs is not None:
+            self.admission.audit = obs.audit
         self.interests = InterestRegistry()
         self.collector = GarbageCollector(self.interests, self.delete_strand)
         self._strands: Dict[str, Strand] = {}
@@ -162,6 +174,7 @@ class MultimediaStorageManager:
             # The last mechanism is gone: freeze admission entirely.
             if hasattr(self.admission, "max_k"):
                 self.admission.max_k = 0
+            self._audit_revalidate(heads_lost, surviving, total, 0)
             return 0
         self.disk_params = replace(
             self.disk_params,
@@ -183,11 +196,40 @@ class MultimediaStorageManager:
                 ),
             )
             requests = [probe]
-        return max(
+        degraded_n_max = max(
             0,
             admission.n_max(
                 admission.service_parameters(requests, self.disk_params)
             ),
+        )
+        self._audit_revalidate(heads_lost, surviving, total, degraded_n_max)
+        return degraded_n_max
+
+    def _audit_revalidate(
+        self, heads_lost: int, surviving: int, total: int, new_n_max: int
+    ) -> None:
+        """Record a degraded-mode revalidation in the admission audit log.
+
+        The logged inequality is the liveness condition the degrade path
+        branches on: with ``surviving >= 1`` the server keeps admitting
+        against the shrunk ``n_max``; below it, admission freezes.
+        """
+        audit = getattr(self.admission, "audit", None)
+        if audit is None:
+            return
+        audit.record(
+            "revalidate",
+            f"degraded(heads={surviving}/{total})",
+            "surviving >= 1",
+            {
+                "heads_lost": float(heads_lost),
+                "surviving": float(surviving),
+                "total": float(total),
+                "n_max": float(new_n_max),
+            },
+            satisfied=surviving >= 1,
+            detail=f"degraded n_max={new_n_max} "
+            f"(cumulative heads lost: {self.degraded_heads})",
         )
 
     # -- policy derivation -----------------------------------------------------
@@ -314,12 +356,26 @@ class MultimediaStorageManager:
 
     # -- recording (batch interfaces) ---------------------------------------------
 
+    def _obs_timer(self, name: str):
+        """A profiling context for *name*, or a no-op when unobserved."""
+        if self.obs is not None:
+            return self.obs.timed(name)
+        return contextlib.nullcontext()
+
     def store_video_strand(
         self,
         frames: Sequence[Frame],
         hint: Optional[int] = None,
     ) -> Strand:
         """Store a video frame sequence as a new strand."""
+        with self._obs_timer("msm.store_video_strand"):
+            return self._store_video_strand(frames, hint)
+
+    def _store_video_strand(
+        self,
+        frames: Sequence[Frame],
+        hint: Optional[int],
+    ) -> Strand:
         if not frames:
             raise ParameterError("cannot store an empty video strand")
         policy = self.policies.video
@@ -362,6 +418,15 @@ class MultimediaStorageManager:
 
         Pass ``detector=None`` to store every block (the E10 baseline).
         """
+        with self._obs_timer("msm.store_audio_strand"):
+            return self._store_audio_strand(chunks, detector, hint)
+
+    def _store_audio_strand(
+        self,
+        chunks: Sequence[AudioChunk],
+        detector: Optional[SilenceDetector],
+        hint: Optional[int],
+    ) -> Strand:
         if not chunks:
             raise ParameterError("cannot store an empty audio strand")
         policy = self.policies.audio
@@ -405,6 +470,15 @@ class MultimediaStorageManager:
         same playback period, giving "implicit inter-media
         synchronization".
         """
+        with self._obs_timer("msm.store_mixed_strand"):
+            return self._store_mixed_strand(frames, chunks, hint)
+
+    def _store_mixed_strand(
+        self,
+        frames: Sequence[Frame],
+        chunks: Sequence[AudioChunk],
+        hint: Optional[int],
+    ) -> Strand:
         if not frames or not chunks:
             raise ParameterError("a mixed strand needs both media")
         policy = self.policies.mixed

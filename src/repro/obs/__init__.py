@@ -1,0 +1,53 @@
+"""Observability: metrics, session timelines, and admission audit.
+
+The paper's guarantees are claims about *time*; this package is how the
+reproduction proves it kept them.  Components report into an optional
+:class:`Observability` handle (default off, zero-overhead when absent):
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms
+  (deadline slack, seek time, round utilization, queue depth), and
+  profiling timers, serialized to byte-stable sorted JSON;
+* :class:`SessionTimeline` — per-block lifecycle events
+  (``enqueued → read-start → read-done → consumed | skipped``) with
+  simulated timestamps and machine-checked ordering invariants;
+* :class:`AdmissionAuditLog` — every admit/reject/revalidate with the
+  exact inequality and operand values the decision turned on.
+
+Canonical end-to-end scenarios (the golden-trace baselines) live in
+:mod:`repro.obs.scenarios`, imported lazily to avoid cycles with the
+service layers.
+"""
+
+from repro.obs.audit import AdmissionAuditLog, AuditEntry
+from repro.obs.observer import NULL_OBS, Observability
+from repro.obs.registry import (
+    DEADLINE_SLACK_BUCKETS,
+    QUEUE_DEPTH_BUCKETS,
+    ROUND_UTILIZATION_BUCKETS,
+    SEEK_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ProfileTimer,
+)
+from repro.obs.timeline import BlockStage, SessionTimeline, TimelineEvent
+
+__all__ = [
+    "AdmissionAuditLog",
+    "AuditEntry",
+    "BlockStage",
+    "Counter",
+    "DEADLINE_SLACK_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Observability",
+    "ProfileTimer",
+    "QUEUE_DEPTH_BUCKETS",
+    "ROUND_UTILIZATION_BUCKETS",
+    "SEEK_TIME_BUCKETS",
+    "SessionTimeline",
+    "TimelineEvent",
+]

@@ -1,0 +1,189 @@
+"""The admission audit log: every admit/reject/revalidate, with proof.
+
+The §3.4 admission controller's verdicts are inequalities over the
+(α, β, γ) service parameters; a bare "rejected" tells an operator
+nothing.  Each :class:`AuditEntry` therefore carries the *exact
+inequality* the decision turned on (as a Python expression) together
+with every operand's value at decision time, so
+
+* a rejected session shows **which** constraint failed and by how much;
+* tests can re-evaluate the logged expression against the logged
+  operands (:meth:`AuditEntry.evaluate`) and confirm the decision was
+  arithmetically honest;
+* a degraded-mode ``revalidate`` entry records the shrunk ``n_max`` the
+  surviving hardware supports.
+
+Entries are sequence-numbered (admission happens outside simulated
+time), immutable, and serialized in order — deterministic under a fixed
+workload like everything else in :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["AuditEntry", "AdmissionAuditLog"]
+
+#: The decisions an entry may record.
+_DECISIONS = ("admit", "reject", "revalidate")
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One admission-control decision with its governing inequality.
+
+    Attributes
+    ----------
+    sequence:
+        Position in the log (0-based).
+    decision:
+        ``admit``, ``reject``, or ``revalidate``.
+    subject:
+        What was being decided (candidate description, request id, or
+        the degrade trigger).
+    constraint:
+        The inequality that must hold for the request to proceed, as a
+        Python expression over the operand names (e.g.
+        ``"gamma - n * beta > epsilon * gamma"``).
+    operands:
+        Name → value pairs, sorted by name, capturing every variable the
+        constraint references (extra context values are allowed).
+    satisfied:
+        Whether the constraint held — False on every reject.
+    detail:
+        Free-form context (the k chosen, the n_max computed, ...).
+    """
+
+    sequence: int
+    decision: str
+    subject: str
+    constraint: str
+    operands: Tuple[Tuple[str, float], ...]
+    satisfied: bool
+    detail: str = ""
+
+    def operand(self, name: str) -> float:
+        """The logged value of one operand (raises if absent)."""
+        for key, value in self.operands:
+            if key == name:
+                return value
+        raise ParameterError(
+            f"audit entry {self.sequence} has no operand {name!r}"
+        )
+
+    def evaluate(self) -> bool:
+        """Recompute the constraint from the logged operands.
+
+        The expression is evaluated with no builtins and only the logged
+        operands in scope, so the result is a pure function of the entry
+        — the audit tests assert it matches :attr:`satisfied`.
+        """
+        scope = {name: value for name, value in self.operands}
+        return bool(eval(self.constraint, {"__builtins__": {}}, scope))
+
+    def as_dict(self) -> Dict:
+        """JSON-ready rendering (stable key order via sorted operands)."""
+        return {
+            "sequence": self.sequence,
+            "decision": self.decision,
+            "subject": self.subject,
+            "constraint": self.constraint,
+            "operands": {name: value for name, value in self.operands},
+            "satisfied": self.satisfied,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.satisfied else "FAILED"
+        terms = ", ".join(
+            f"{name}={value!r}" for name, value in self.operands
+        )
+        return (
+            f"#{self.sequence:<4d} {self.decision:<10} {self.subject:<18} "
+            f"{self.constraint} [{verdict}] ({terms})"
+            + (f" -- {self.detail}" if self.detail else "")
+        )
+
+
+class AdmissionAuditLog:
+    """Ordered log of admission-control decisions.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`record` is a no-op (null-observer pattern).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._entries: List[AuditEntry] = []
+
+    def record(
+        self,
+        decision: str,
+        subject: str,
+        constraint: str,
+        operands: Mapping[str, float],
+        satisfied: bool,
+        detail: str = "",
+    ) -> Optional[AuditEntry]:
+        """Append one decision; returns the entry (None when disabled)."""
+        if not self.enabled:
+            return None
+        if decision not in _DECISIONS:
+            raise ParameterError(
+                f"unknown audit decision {decision!r}; "
+                f"expected one of {_DECISIONS}"
+            )
+        entry = AuditEntry(
+            sequence=len(self._entries),
+            decision=decision,
+            subject=subject,
+            constraint=constraint,
+            operands=tuple(sorted(
+                (name, float(value)) for name, value in operands.items()
+            )),
+            satisfied=satisfied,
+            detail=detail,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[AuditEntry]:
+        return iter(self._entries)
+
+    def entries(self, decision: Optional[str] = None) -> List[AuditEntry]:
+        """All entries, optionally filtered by decision kind."""
+        if decision is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.decision == decision]
+
+    def admits(self) -> List[AuditEntry]:
+        """Successful admissions."""
+        return self.entries("admit")
+
+    def rejects(self) -> List[AuditEntry]:
+        """Refused admissions (their constraints evaluate False)."""
+        return self.entries("reject")
+
+    def revalidations(self) -> List[AuditEntry]:
+        """Degraded-mode capacity revalidations."""
+        return self.entries("revalidate")
+
+    def last(self) -> Optional[AuditEntry]:
+        """Most recent entry, or None."""
+        return self._entries[-1] if self._entries else None
+
+    def as_dicts(self) -> List[Dict]:
+        """JSON-ready rendering of the whole log, in order."""
+        return [entry.as_dict() for entry in self._entries]
+
+    def render(self) -> str:
+        """Human-readable log, one line per decision."""
+        return "\n".join(str(entry) for entry in self._entries)

@@ -1,0 +1,129 @@
+"""The observability façade: one object components report into.
+
+:class:`Observability` bundles the three telemetry surfaces — the
+:class:`~repro.obs.registry.MetricsRegistry`, the
+:class:`~repro.obs.timeline.SessionTimeline`, and the
+:class:`~repro.obs.audit.AdmissionAuditLog` — behind a single handle
+that service layers accept as an optional parameter.  Its
+:meth:`snapshot` serializes all three to one stable, sorted JSON
+document (the golden-trace artifact), :meth:`diff` explains what moved
+between two snapshots, and :meth:`report` renders the whole state for a
+human (the ``repro obs-report`` CLI).
+
+The default is **off**: components take ``obs=None`` and guard with a
+single ``is None`` test, and ``Observability(enabled=False)`` hands out
+null instruments throughout — so an unobserved run pays no measurable
+cost (the ``bench_micro_ops`` acceptance bar).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Union
+
+from repro.obs.audit import AdmissionAuditLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import SessionTimeline
+
+__all__ = ["Observability", "NULL_OBS"]
+
+
+class Observability:
+    """Bundle of registry + timeline + audit log for one run.
+
+    Parameters
+    ----------
+    enabled:
+        When False every surface is a null recorder; snapshots are empty
+        but still byte-stable.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled)
+        self.timeline = SessionTimeline(enabled)
+        self.audit = AdmissionAuditLog(enabled)
+
+    def timed(self, name: str):
+        """Profiling context manager on the shared registry."""
+        return self.registry.timed(name)
+
+    # -- serialization -----------------------------------------------------------
+
+    def snapshot_dict(self, include_profile: bool = False) -> Dict:
+        """The full observability state as a JSON-ready dict."""
+        return {
+            "metrics": self.registry.snapshot_dict(
+                include_profile=include_profile
+            ),
+            "timeline": self.timeline.summary_dict(),
+            "audit": self.audit.as_dicts(),
+        }
+
+    def snapshot(self, include_profile: bool = False) -> str:
+        """Stable sorted-key JSON of registry + timeline + audit.
+
+        Byte-identical across runs with the same seed; the golden-trace
+        tests commit this string verbatim.
+        """
+        return json.dumps(
+            self.snapshot_dict(include_profile=include_profile),
+            sort_keys=True,
+            indent=2,
+        )
+
+    @staticmethod
+    def diff(before: Union[str, Dict], after: Union[str, Dict]) -> Dict:
+        """Leaf-level differences between two snapshots (see
+        :meth:`MetricsRegistry.diff`)."""
+        return MetricsRegistry.diff(before, after)
+
+    # -- human rendering ---------------------------------------------------------
+
+    def report(self) -> str:
+        """Operator-facing rendering of the full observability state."""
+        metrics = self.registry.snapshot_dict(include_profile=True)
+        lines = ["== counters =="]
+        for name, value in sorted(metrics["counters"].items()):
+            lines.append(f"  {name:<36} {value}")
+        lines.append("== gauges ==")
+        for name, value in sorted(metrics["gauges"].items()):
+            lines.append(f"  {name:<36} {value:g}")
+        lines.append("== histograms ==")
+        for name, data in sorted(metrics["histograms"].items()):
+            lines.append(
+                f"  {name}: count={data['count']} sum={data['sum']:g} "
+                f"overflow={data['overflow']}"
+            )
+            for bound, count in zip(data["buckets"], data["counts"]):
+                if count:
+                    lines.append(f"    <= {bound:<12g} {count}")
+        lines.append("== timers ==")
+        for name, data in sorted(metrics["timers"].items()):
+            lines.append(
+                f"  {name:<36} calls={data['calls']} "
+                f"wall={data.get('wall_seconds', 0.0):.6f}s"
+            )
+        lines.append("== sessions ==")
+        for session_id, summary in sorted(
+            self.timeline.summary_dict().items()
+        ):
+            stages = " ".join(
+                f"{stage}={count}"
+                for stage, count in sorted(summary["stages"].items())
+            )
+            lines.append(
+                f"  {session_id:<12} {stages} "
+                f"jitter={summary['interarrival_jitter_s']:.6f}s "
+                f"conserved={summary['conserved']}"
+            )
+        lines.append("== admission audit ==")
+        audit = self.audit.render()
+        if audit:
+            lines.extend(f"  {line}" for line in audit.splitlines())
+        return "\n".join(lines)
+
+
+#: Shared disabled instance for call sites that want unconditional
+#: ``with obs.timed(...)`` syntax without a None guard.
+NULL_OBS = Observability(enabled=False)

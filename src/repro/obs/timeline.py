@@ -1,0 +1,227 @@
+"""Per-session block lifecycle timelines.
+
+Every media block a service loop touches moves through a fixed lifecycle
+(``enqueued → read-start → read-done → consumed | skipped``), each stage
+stamped with **simulated** time.  A :class:`SessionTimeline` records
+those transitions per ``(session, block)`` pair and derives the
+per-session telemetry the admission analysis needs to defend itself:
+inter-arrival jitter, consumption counts, and the conservation law
+``consumed + skipped == enqueued`` that proves no block was silently
+lost between admission and the display device.
+
+Timestamps come from the simulation clock, so a timeline is exactly
+reproducible under a fixed seed; :meth:`SessionTimeline.validate`
+machine-checks the well-ordering invariants the property tests rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["BlockStage", "TimelineEvent", "SessionTimeline"]
+
+
+class BlockStage(enum.Enum):
+    """Lifecycle stages of one media block, in order."""
+
+    ENQUEUED = "enqueued"
+    READ_START = "read-start"
+    READ_DONE = "read-done"
+    CONSUMED = "consumed"
+    SKIPPED = "skipped"
+
+
+#: Lifecycle position of each stage (CONSUMED and SKIPPED are the two
+#: mutually exclusive terminals).
+_STAGE_ORDER = {
+    BlockStage.ENQUEUED: 0,
+    BlockStage.READ_START: 1,
+    BlockStage.READ_DONE: 2,
+    BlockStage.CONSUMED: 3,
+    BlockStage.SKIPPED: 3,
+}
+
+_TERMINALS = (BlockStage.CONSUMED, BlockStage.SKIPPED)
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One lifecycle transition of one block."""
+
+    time: float
+    session_id: str
+    block_index: int
+    stage: BlockStage
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time:12.6f}] {self.session_id:<10} "
+            f"block {self.block_index:<6d} {self.stage.value}"
+        )
+
+
+class SessionTimeline:
+    """Records block lifecycle events for any number of sessions.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`record` is a no-op (the null-observer
+        pattern; see :mod:`repro.obs.registry`).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._events: List[TimelineEvent] = []
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(
+        self,
+        time: float,
+        session_id: str,
+        block_index: int,
+        stage: BlockStage,
+    ) -> None:
+        """Append one lifecycle event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TimelineEvent(time, session_id, block_index, stage)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TimelineEvent]:
+        return iter(self._events)
+
+    # -- queries -----------------------------------------------------------------
+
+    def sessions(self) -> List[str]:
+        """All session IDs seen, sorted."""
+        return sorted({event.session_id for event in self._events})
+
+    def events(
+        self,
+        session_id: Optional[str] = None,
+        block_index: Optional[int] = None,
+        stage: Optional[BlockStage] = None,
+    ) -> List[TimelineEvent]:
+        """Events matching the given filters, in recording order."""
+        return [
+            event
+            for event in self._events
+            if (session_id is None or event.session_id == session_id)
+            and (block_index is None or event.block_index == block_index)
+            and (stage is None or event.stage == stage)
+        ]
+
+    def stage_counts(self, session_id: str) -> Dict[str, int]:
+        """Events per stage for one session (keys are stage values)."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            if event.session_id != session_id:
+                continue
+            key = event.stage.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def read_done_times(self, session_id: str) -> List[float]:
+        """Block arrival times for one session, in block order."""
+        arrivals = [
+            (event.block_index, event.time)
+            for event in self._events
+            if event.session_id == session_id
+            and event.stage is BlockStage.READ_DONE
+        ]
+        return [time for _index, time in sorted(arrivals)]
+
+    def interarrival_jitter(self, session_id: str) -> float:
+        """Peak-to-peak spread of successive block arrival gaps, seconds.
+
+        The §3.3.2 anti-jitter buffering exists to absorb exactly this
+        spread; 0.0 for sessions with fewer than three arrivals.
+        """
+        times = self.read_done_times(session_id)
+        if len(times) < 3:
+            return 0.0
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        return max(gaps) - min(gaps)
+
+    # -- invariants --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Machine-check the lifecycle invariants; raises on violation.
+
+        * per-block event times are monotonically non-decreasing;
+        * stages appear in lifecycle order, starting at ``enqueued``;
+        * at most one terminal (``consumed`` xor ``skipped``) per block.
+        """
+        per_block: Dict[Tuple[str, int], List[TimelineEvent]] = {}
+        for event in self._events:
+            per_block.setdefault(
+                (event.session_id, event.block_index), []
+            ).append(event)
+        for (session_id, block_index), events in per_block.items():
+            label = f"{session_id} block {block_index}"
+            if events[0].stage is not BlockStage.ENQUEUED:
+                raise SimulationError(
+                    f"{label}: first event is {events[0].stage.value}, "
+                    "not enqueued"
+                )
+            terminals = 0
+            for previous, current in zip(events, events[1:]):
+                if current.time < previous.time:
+                    raise SimulationError(
+                        f"{label}: time reversed "
+                        f"({previous.time} -> {current.time})"
+                    )
+                if (
+                    _STAGE_ORDER[current.stage]
+                    < _STAGE_ORDER[previous.stage]
+                ):
+                    raise SimulationError(
+                        f"{label}: stage {current.stage.value} after "
+                        f"{previous.stage.value}"
+                    )
+            for event in events:
+                if event.stage in _TERMINALS:
+                    terminals += 1
+            if terminals > 1:
+                raise SimulationError(
+                    f"{label}: {terminals} terminal events (consumed/"
+                    "skipped must be exclusive)"
+                )
+
+    def conservation_holds(self, session_id: str) -> bool:
+        """True iff ``consumed + skipped == enqueued`` for the session."""
+        counts = self.stage_counts(session_id)
+        return counts.get("consumed", 0) + counts.get("skipped", 0) == (
+            counts.get("enqueued", 0)
+        )
+
+    # -- serialization -----------------------------------------------------------
+
+    def summary_dict(self) -> Dict[str, Dict]:
+        """Per-session telemetry for snapshot embedding (deterministic)."""
+        summary: Dict[str, Dict] = {}
+        for session_id in self.sessions():
+            counts = self.stage_counts(session_id)
+            summary[session_id] = {
+                "stages": counts,
+                "interarrival_jitter_s": self.interarrival_jitter(
+                    session_id
+                ),
+                "conserved": self.conservation_holds(session_id),
+            }
+        return summary
+
+    def render(self, session_id: Optional[str] = None, last: int = 50) -> str:
+        """Human-readable tail of one session's (or all) events."""
+        events = self.events(session_id=session_id)
+        return "\n".join(str(event) for event in events[-last:])

@@ -25,6 +25,7 @@ from repro.disk.raid import DriveArray
 from repro.errors import HeadFailureError, ParameterError
 from repro.faults.recovery import RecoveryPolicy, read_with_recovery
 from repro.media.devices import DisplayDevice
+from repro.obs.registry import DEADLINE_SLACK_BUCKETS
 from repro.rope.server import BlockFetch
 from repro.sim.metrics import ContinuityMetrics
 
@@ -52,12 +53,26 @@ def _score(
     ready: Sequence[float],
     deadlines: Sequence[float],
     skipped: Optional[Set[int]] = None,
+    obs=None,
 ) -> None:
+    slack_hist = delivered_counter = skipped_counter = None
+    if obs is not None:
+        registry = obs.registry
+        slack_hist = registry.histogram(
+            "session.deadline_slack_s", DEADLINE_SLACK_BUCKETS
+        )
+        delivered_counter = registry.counter("session.blocks_delivered")
+        skipped_counter = registry.counter("session.blocks_skipped")
     for index, (arrival, deadline) in enumerate(zip(ready, deadlines)):
         if skipped and index in skipped:
             metrics.record_skip(arrival, deadline)
+            if obs is not None:
+                skipped_counter.inc()
         else:
             metrics.record_delivery(arrival, deadline)
+            if obs is not None:
+                delivered_counter.inc()
+                slack_hist.observe(deadline - arrival)
 
 
 def _read_block(
@@ -65,6 +80,7 @@ def _read_block(
     fetch: BlockFetch,
     time: float,
     recovery: RecoveryPolicy,
+    obs=None,
 ) -> Tuple[float, bool]:
     """One fetch through the (possibly faulty) drive: (time, delivered).
 
@@ -76,7 +92,7 @@ def _read_block(
         return time + drive.read_slot(fetch.slot, fetch.bits), True
     try:
         elapsed, ok = read_with_recovery(
-            drive, fetch.slot, fetch.bits, recovery, now=time
+            drive, fetch.slot, fetch.bits, recovery, now=time, obs=obs
         )
     except HeadFailureError as fault:
         return time + fault.elapsed, False
@@ -90,6 +106,7 @@ def simulate_sequential(
     request_id: str = "seq",
     read_ahead: int = 0,
     recovery: Optional[RecoveryPolicy] = None,
+    obs=None,
 ) -> Tuple[ContinuityMetrics, List[float]]:
     """Fig. 1: read a block, display it, read the next (Eq. 1 regime).
 
@@ -105,7 +122,7 @@ def simulate_sequential(
     skipped: Set[int] = set()
     for index, fetch in enumerate(fetches):
         if fetch.slot is not None:
-            time, delivered = _read_block(drive, fetch, time, policy)
+            time, delivered = _read_block(drive, fetch, time, policy, obs)
             if delivered:
                 time += display.display_time(fetch.bits)
             else:
@@ -117,7 +134,7 @@ def simulate_sequential(
     # Blocks consumed as read-ahead are ready by definition of the start.
     metrics = ContinuityMetrics(request_id=request_id)
     metrics.startup_latency = start
-    _score(metrics, ready, deadlines, skipped)
+    _score(metrics, ready, deadlines, skipped, obs=obs)
     return metrics, ready
 
 
@@ -127,6 +144,7 @@ def simulate_pipelined(
     request_id: str = "pipe",
     read_ahead: int = 0,
     recovery: Optional[RecoveryPolicy] = None,
+    obs=None,
 ) -> Tuple[ContinuityMetrics, List[float]]:
     """Fig. 2: transfers overlap display; back-to-back reads (Eq. 2 regime).
 
@@ -142,7 +160,7 @@ def simulate_pipelined(
     skipped: Set[int] = set()
     for index, fetch in enumerate(fetches):
         if fetch.slot is not None:
-            time, delivered = _read_block(drive, fetch, time, policy)
+            time, delivered = _read_block(drive, fetch, time, policy, obs)
             if not delivered:
                 skipped.add(index)
         ready.append(time)
@@ -151,7 +169,7 @@ def simulate_pipelined(
     deadlines = _deadlines(fetches, start)
     metrics = ContinuityMetrics(request_id=request_id)
     metrics.startup_latency = start
-    _score(metrics, ready, deadlines, skipped)
+    _score(metrics, ready, deadlines, skipped, obs=obs)
     return metrics, ready
 
 
@@ -161,6 +179,7 @@ def simulate_concurrent(
     request_id: str = "conc",
     recovery: Optional[RecoveryPolicy] = None,
     on_head_failure: Optional[Callable[[HeadFailureError], None]] = None,
+    obs=None,
 ) -> Tuple[ContinuityMetrics, List[float]]:
     """Fig. 3: p parallel accesses per batch (Eq. 3 regime).
 
@@ -199,7 +218,8 @@ def simulate_concurrent(
                 continue
             try:
                 elapsed, ok = read_with_recovery(
-                    member, fetch.slot, fetch.bits, policy, now=time
+                    member, fetch.slot, fetch.bits, policy, now=time,
+                    obs=obs,
                 )
             except HeadFailureError as fault:
                 durations.append(fault.elapsed)
@@ -220,5 +240,5 @@ def simulate_concurrent(
     deadlines = _deadlines(fetches, start)
     metrics = ContinuityMetrics(request_id=request_id)
     metrics.startup_latency = start
-    _score(metrics, ready, deadlines, skipped)
+    _score(metrics, ready, deadlines, skipped, obs=obs)
     return metrics, ready

@@ -28,6 +28,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.disk.drive import SimulatedDrive
 from repro.errors import HeadFailureError, ParameterError
 from repro.faults.recovery import RecoveryPolicy, read_with_recovery
+from repro.obs.registry import (
+    DEADLINE_SLACK_BUCKETS,
+    QUEUE_DEPTH_BUCKETS,
+    ROUND_UTILIZATION_BUCKETS,
+)
+from repro.obs.timeline import BlockStage
 from repro.rope.server import BlockFetch
 from repro.sim.metrics import ContinuityMetrics
 from repro.sim.trace import Tracer
@@ -134,6 +140,12 @@ class RoundRobinService:
     on_head_failure:
         Invoked once, with the :class:`HeadFailureError`, the first time
         the drive's head dies mid-service (admission revalidation hook).
+    obs:
+        Optional :class:`~repro.obs.Observability` handle.  When given,
+        the loop records per-block lifecycle events into the session
+        timeline and feeds the round-utilization / queue-depth /
+        deadline-slack histograms; when None (the default) every hook is
+        a single ``is None`` test.
     """
 
     def __init__(
@@ -143,6 +155,7 @@ class RoundRobinService:
         tracer: Optional[Tracer] = None,
         recovery: Optional[RecoveryPolicy] = None,
         on_head_failure: Optional[Callable[[HeadFailureError], None]] = None,
+        obs=None,
     ):
         self.drive = drive
         self.k_schedule = k_schedule
@@ -151,6 +164,22 @@ class RoundRobinService:
         self.on_head_failure = on_head_failure
         self.head_failure: Optional[HeadFailureError] = None
         self.rounds_run = 0
+        self.obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._obs_slack = registry.histogram(
+                "session.deadline_slack_s", DEADLINE_SLACK_BUCKETS
+            )
+            self._obs_depth = registry.histogram(
+                "service.queue_depth", QUEUE_DEPTH_BUCKETS
+            )
+            self._obs_util = registry.histogram(
+                "service.round_utilization", ROUND_UTILIZATION_BUCKETS
+            )
+            self._obs_delivered = registry.counter(
+                "session.blocks_delivered"
+            )
+            self._obs_skipped = registry.counter("session.blocks_skipped")
 
     def _extra_work_pending(self) -> bool:
         """Hook for subclasses with non-playback work (e.g. recording).
@@ -190,7 +219,16 @@ class RoundRobinService:
                 raise ParameterError(
                     f"k schedule returned {k} for round {round_number}"
                 )
-            time, progressed = self._run_round(time, active, k, round_number)
+            if self.obs is not None:
+                self._obs_depth.observe(len(active))
+                with self.obs.timed("service.round"):
+                    time, progressed = self._run_round(
+                        time, active, k, round_number
+                    )
+            else:
+                time, progressed = self._run_round(
+                    time, active, k, round_number
+                )
             if not progressed:
                 # Every buffer was full: idle until consumption frees one.
                 wake = min(
@@ -209,10 +247,37 @@ class RoundRobinService:
                     f"exceeded {max_rounds} rounds; k schedule likely "
                     "starves a stream"
                 )
-        return {
-            stream.request_id: stream.metrics
-            for stream in list(initial) + [a.stream for a in admissions]
-        }
+        streams = list(initial) + [a.stream for a in admissions]
+        if self.obs is not None:
+            self._finalize_obs(streams)
+        return {stream.request_id: stream.metrics for stream in streams}
+
+    def _finalize_obs(self, streams: Sequence[StreamState]) -> None:
+        """Score the completed run into the observability surfaces.
+
+        Consumption times are derivable only after the fact (playback
+        cascades over the delivery schedule), so ``consumed`` timeline
+        events and the deadline-slack histogram are recorded here, once
+        per delivered block, with the post-rescore deadlines.
+        """
+        timeline = self.obs.timeline
+        for stream in streams:
+            if stream.clock_start is None:
+                continue
+            elapsed = stream.clock_start
+            for index, (ready, deadline, duration) in enumerate(
+                stream.deliveries
+            ):
+                end = max(elapsed, ready) + duration
+                elapsed = end
+                if index in stream.skipped_indices:
+                    continue
+                timeline.record(
+                    end, stream.request_id, index, BlockStage.CONSUMED
+                )
+                self._obs_slack.observe(deadline - ready)
+                self._obs_delivered.inc()
+        self.obs.registry.gauge("service.rounds_run").set(self.rounds_run)
 
     def _run_round(
         self,
@@ -222,6 +287,10 @@ class RoundRobinService:
         round_number: int,
     ) -> Tuple[float, bool]:
         progressed = False
+        round_start = time
+        #: Tightest Eq.-11 budget seen this round: min over delivered
+        #: blocks of (stream's k × its block playback duration).
+        budget = float("inf")
         for stream in active:
             if stream.finished:
                 continue
@@ -237,7 +306,18 @@ class RoundRobinService:
                 continue
             delivered = 0
             while delivered < quota and not stream.finished:
-                fetch = stream.fetches[stream.next_fetch]
+                index = stream.next_fetch
+                fetch = stream.fetches[index]
+                if self.obs is not None:
+                    self.obs.timeline.record(
+                        time, stream.request_id, index,
+                        BlockStage.ENQUEUED,
+                    )
+                    if fetch.slot is not None:
+                        self.obs.timeline.record(
+                            time, stream.request_id, index,
+                            BlockStage.READ_START,
+                        )
                 skipped = False
                 if fetch.slot is not None:
                     time, skipped = self._fetch_block(stream, fetch, time)
@@ -245,6 +325,19 @@ class RoundRobinService:
                 stream.next_fetch += 1
                 delivered += 1
                 progressed = True
+                if self.obs is not None:
+                    self.obs.timeline.record(
+                        time, stream.request_id, index,
+                        BlockStage.READ_DONE,
+                    )
+                    if skipped:
+                        self.obs.timeline.record(
+                            time, stream.request_id, index,
+                            BlockStage.SKIPPED,
+                        )
+                        self._obs_skipped.inc()
+                    if fetch.duration > 0:
+                        budget = min(budget, stream_k * fetch.duration)
             # Playback starts once the anti-jitter read-ahead — the first
             # k-block service, capped by what the display buffer can
             # actually hold — is on board.
@@ -261,6 +354,13 @@ class RoundRobinService:
                     time, "playback-start", stream.request_id,
                     f"after {len(stream.deliveries)} blocks",
                 )
+        if (
+            self.obs is not None
+            and progressed
+            and budget != float("inf")
+            and budget > 0
+        ):
+            self._obs_util.observe((time - round_start) / budget)
         return time, progressed
 
     def _fetch_block(
@@ -283,6 +383,7 @@ class RoundRobinService:
                 deadline=deadline,
                 tracer=self.tracer,
                 subject=stream.request_id,
+                obs=self.obs,
             )
         except HeadFailureError as fault:
             self._note_head_failure(fault, time + fault.elapsed)

@@ -99,6 +99,11 @@ class PlaybackSession:
     recovery:
         Fault-recovery policy forwarded to the round service (applies
         only when the drive carries a fault injector).
+    obs:
+        Optional :class:`~repro.obs.Observability` handle forwarded to
+        the round service and attached to the drive for the run.
+        Defaults to the storage manager's own observer (if any), so one
+        handle wired at MSM construction observes every session.
     """
 
     def __init__(
@@ -107,11 +112,13 @@ class PlaybackSession:
         architecture: Architecture = Architecture.PIPELINED,
         tracer: Optional[Tracer] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        obs=None,
     ):
         self.server = server
         self.architecture = architecture
         self.tracer = tracer
         self.recovery = recovery
+        self.obs = obs if obs is not None else server.msm.obs
         self._degraded_n_max: Optional[int] = None
 
     def _on_head_failure(self, fault: HeadFailureError) -> None:
@@ -200,7 +207,10 @@ class PlaybackSession:
             tracer=self.tracer,
             recovery=self.recovery,
             on_head_failure=self._on_head_failure,
+            obs=self.obs,
         )
+        if self.obs is not None and self.server.msm.drive.obs is None:
+            self.server.msm.drive.attach_observer(self.obs)
         metrics = service.run(initial, later)
         return SessionResult(
             metrics=metrics,

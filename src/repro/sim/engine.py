@@ -70,6 +70,26 @@ class Engine:
         self._sequence = itertools.count()
         self.events_executed = 0
         self.processes_spawned = 0
+        self.obs = None
+
+    def attach_observer(self, obs) -> None:
+        """Publish engine gauges into an :class:`~repro.obs.Observability`.
+
+        The gauges (``engine.now``, ``engine.events_executed``,
+        ``engine.processes_spawned``) are refreshed at the end of every
+        :meth:`run` drain; the hot event loop itself stays unobserved.
+        """
+        self.obs = obs
+
+    def _publish_obs(self) -> None:
+        registry = self.obs.registry
+        registry.gauge("engine.now").set(self._now)
+        registry.gauge("engine.events_executed").set(
+            float(self.events_executed)
+        )
+        registry.gauge("engine.processes_spawned").set(
+            float(self.processes_spawned)
+        )
 
     @property
     def now(self) -> float:
@@ -139,6 +159,8 @@ class Engine:
             when, _seq, action = self._calendar[0]
             if until is not None and when > until:
                 self._now = until
+                if self.obs is not None:
+                    self._publish_obs()
                 return self._now
             heapq.heappop(self._calendar)
             self._now = when
@@ -151,6 +173,8 @@ class Engine:
                 )
         if until is not None and until > self._now:
             self._now = until
+        if self.obs is not None:
+            self._publish_obs()
         return self._now
 
     @property

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
+from repro.errors import SimulationError
+
 __all__ = ["TraceEvent", "Tracer"]
 
 
@@ -38,19 +40,45 @@ class Tracer:
     limit:
         Maximum retained events; older events are dropped FIFO beyond it
         (simulations can generate millions).
+    strict:
+        When True, exceeding *limit* raises :class:`SimulationError`
+        instead of silently dropping — for tests that assert their trace
+        is complete ("no events dropped") rather than merely recent.
     """
 
-    def __init__(self, enabled: bool = True, limit: int = 100_000):
+    def __init__(
+        self,
+        enabled: bool = True,
+        limit: int = 100_000,
+        strict: bool = False,
+    ):
         self.enabled = enabled
         self.limit = limit
+        self.strict = strict
         self._events: List[TraceEvent] = []
         self.dropped = 0
 
+    @property
+    def dropped_count(self) -> int:
+        """Events lost to the FIFO limit (0 means the trace is complete)."""
+        return self.dropped
+
     def emit(self, time: float, tag: str, subject: str, detail: str = "") -> None:
-        """Record one event (no-op when disabled)."""
+        """Record one event (no-op when disabled).
+
+        Raises
+        ------
+        SimulationError
+            In strict mode, when the event would overflow *limit*.
+        """
         if not self.enabled:
             return
         if len(self._events) >= self.limit:
+            if self.strict:
+                raise SimulationError(
+                    f"strict tracer overflowed its {self.limit}-event "
+                    f"limit at [{time:.6f}] {tag} {subject}"
+                )
             self._events.pop(0)
             self.dropped += 1
         self._events.append(TraceEvent(time, tag, subject, detail))

@@ -1,6 +1,7 @@
 """Shared fixtures for the test suite."""
 
 import random
+from pathlib import Path
 
 import pytest
 
@@ -9,6 +10,49 @@ from repro.core.symbols import video_block_model
 from repro.disk import FreeMap, build_drive
 from repro.fs import MultimediaStorageManager
 from repro.rope import MultimediaRopeServer
+
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ baselines from the current run",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare *content* against a committed golden file, byte for byte.
+
+    Usage: ``golden("steady_snapshot.json", run.snapshot())``.  With
+    ``--regen-golden`` the file is rewritten instead of compared — the
+    diff then goes through code review like any other change.
+    """
+    regen = request.config.getoption("--regen-golden")
+
+    def check(name: str, content: str) -> None:
+        if not content.endswith("\n"):
+            content += "\n"
+        path = GOLDEN_DIR / name
+        if regen:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(content)
+            return
+        assert path.exists(), (
+            f"golden file {path} missing; regenerate intentionally with "
+            "`pytest --regen-golden`"
+        )
+        expected = path.read_text()
+        assert content == expected, (
+            f"{name} drifted from its golden baseline; inspect the diff "
+            "and, if the change is intended, run `pytest --regen-golden`"
+        )
+
+    return check
 
 
 @pytest.fixture

@@ -1,0 +1,171 @@
+"""Admission-audit tests: every logged decision is arithmetically honest.
+
+The audit log's value is that a decision can be *recomputed*: each entry
+carries its governing inequality as a Python expression plus the exact
+operand values, so ``entry.evaluate()`` must reproduce ``satisfied`` —
+False for every reject, True for every admit — across randomized
+workloads, not just the testbed profile.
+"""
+
+import dataclasses
+import re
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import admission as adm
+from repro.core.symbols import BlockModel, DiskParameters
+from repro.disk import build_drive
+from repro.errors import AdmissionRejected
+from repro.fs import MultimediaStorageManager
+from repro.obs import AdmissionAuditLog, Observability
+
+disks = st.builds(
+    lambda rate, track, avg_extra, max_extra: DiskParameters(
+        transfer_rate=rate,
+        seek_track=track,
+        seek_avg=track + avg_extra,
+        seek_max=track + avg_extra + max_extra,
+    ),
+    rate=st.floats(min_value=1e6, max_value=1e9),
+    track=st.floats(min_value=1e-4, max_value=0.005),
+    avg_extra=st.floats(min_value=1e-4, max_value=0.02),
+    max_extra=st.floats(min_value=1e-4, max_value=0.05),
+)
+
+blocks = st.builds(
+    BlockModel,
+    unit_rate=st.floats(min_value=5.0, max_value=60.0),
+    unit_size=st.floats(min_value=1e3, max_value=1e6),
+    granularity=st.integers(min_value=1, max_value=16),
+)
+
+
+def _drive_to_rejection(controller, descriptor, cap=200):
+    """Admit until the controller rejects (or the cap trips)."""
+    for _ in range(cap):
+        try:
+            controller.admit(descriptor)
+        except AdmissionRejected:
+            return True
+    return False
+
+
+class TestAuditedController:
+    @settings(deadline=None, max_examples=40)
+    @given(disk=disks, block=blocks)
+    def test_every_entry_recomputes_its_decision(self, disk, block):
+        descriptor = adm.RequestDescriptor(
+            block=block, scattering_avg=disk.seek_avg
+        )
+        capacity = adm.n_max(
+            adm.service_parameters([descriptor], disk)
+        )
+        assume(0 < capacity <= 150)
+        controller = adm.AdmissionController(disk)
+        controller.audit = AdmissionAuditLog()
+        rejected = _drive_to_rejection(controller, descriptor)
+        log = controller.audit
+        assert rejected
+        assert len(log.rejects()) >= 1
+        assert len(log.admits()) >= 1
+        for entry in log:
+            assert entry.evaluate() == entry.satisfied, str(entry)
+        for entry in log.rejects():
+            assert entry.evaluate() is False, (
+                f"logged reject re-evaluates true: {entry}"
+            )
+
+    @settings(deadline=None, max_examples=40)
+    @given(disk=disks, block=blocks)
+    def test_reject_shows_which_constraint_failed(self, disk, block):
+        descriptor = adm.RequestDescriptor(
+            block=block, scattering_avg=disk.seek_avg
+        )
+        capacity = adm.n_max(
+            adm.service_parameters([descriptor], disk)
+        )
+        assume(0 < capacity <= 150)
+        controller = adm.AdmissionController(disk)
+        controller.audit = AdmissionAuditLog()
+        assert _drive_to_rejection(controller, descriptor)
+        reject = controller.audit.rejects()[0]
+        # Every identifier the inequality references is a logged operand,
+        # so the entry is self-contained evidence of the failure.
+        logged = {key for key, _ in reject.operands}
+        for name in re.findall(r"[a-z_]+", reject.constraint):
+            assert name in logged, (
+                f"constraint references {name!r} but it was not logged: "
+                f"{reject}"
+            )
+
+    def test_unaudited_controller_still_works(self):
+        """audit=None stays the default and costs nothing."""
+        drive = build_drive()
+        controller = adm.AdmissionController(drive.parameters())
+        assert controller.audit is None
+        descriptor = adm.RequestDescriptor(
+            block=BlockModel(
+                unit_rate=30.0, unit_size=64e3, granularity=4
+            ),
+            scattering_avg=drive.parameters().seek_avg,
+        )
+        decision = controller.admit(descriptor)
+        assert decision.request_id is not None
+
+
+def _observed_msm(heads=1):
+    from repro.config import TESTBED_1991
+
+    profile = TESTBED_1991
+    obs = Observability()
+    drive = build_drive()
+    msm = MultimediaStorageManager(
+        drive,
+        profile.video,
+        profile.audio,
+        profile.video_device,
+        profile.audio_device,
+        obs=obs,
+    )
+    if heads != 1:
+        msm.disk_params = dataclasses.replace(
+            msm.disk_params, heads=heads
+        )
+        msm.admission.disk = msm.disk_params
+    return msm, obs
+
+
+class TestRevalidateAudit:
+    def test_revalidate_emits_entry_with_shrunk_n_max(self):
+        msm, obs = _observed_msm(heads=4)
+        before = msm.revalidate_admission(heads_lost=1)
+        entries = obs.audit.revalidations()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.decision == "revalidate"
+        assert entry.satisfied is True  # 3 of 4 heads survive
+        assert entry.evaluate() is True
+        assert entry.operand("surviving") == 3.0
+        assert entry.operand("n_max") == float(before)
+        assert f"n_max={before}" in entry.detail
+
+    def test_shrunk_n_max_never_grows(self):
+        msm, obs = _observed_msm(heads=4)
+        baseline = msm.revalidate_admission(heads_lost=1)
+        again = msm.revalidate_admission(heads_lost=1)
+        assert again <= baseline
+        n_maxes = [
+            entry.operand("n_max")
+            for entry in obs.audit.revalidations()
+        ]
+        assert n_maxes == sorted(n_maxes, reverse=True)
+
+    def test_last_head_freezes_admission_and_fails_constraint(self):
+        msm, obs = _observed_msm(heads=1)
+        assert msm.revalidate_admission(heads_lost=1) == 0
+        entry = obs.audit.revalidations()[-1]
+        assert entry.satisfied is False
+        assert entry.evaluate() is False  # surviving >= 1 is violated
+        assert entry.operand("n_max") == 0.0
+        assert msm.admission.max_k == 0

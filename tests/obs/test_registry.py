@@ -1,0 +1,151 @@
+"""Unit tests for the metrics registry instruments and serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    DEADLINE_SLACK_BUCKETS,
+    MetricsRegistry,
+    Observability,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reads")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_cannot_decrease(self):
+        counter = MetricsRegistry().counter("reads")
+        with pytest.raises(ParameterError):
+            counter.inc(-1)
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        hist = MetricsRegistry().histogram("h", (0.0, 1.0, 10.0))
+        for value in (-5.0, 0.0, 0.5, 1.0, 9.9, 10.0, 11.0):
+            hist.observe(value)
+        assert hist.counts == [2, 2, 2]
+        assert hist.overflow == 1
+        assert hist.count == 7
+        assert sum(hist.counts) + hist.overflow == hist.count
+
+    def test_mean(self):
+        hist = MetricsRegistry().histogram("h", (100.0,))
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == pytest.approx(3.0)
+        assert MetricsRegistry().histogram("empty", (1.0,)).mean == 0.0
+
+    def test_buckets_must_ascend(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            registry.histogram("bad", (2.0, 1.0))
+        with pytest.raises(ParameterError):
+            registry.histogram("empty", ())
+
+    def test_reregister_with_different_buckets_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 2.0))
+        registry.histogram("h", (1.0, 2.0))  # same layout: fine
+        with pytest.raises(ParameterError):
+            registry.histogram("h", (1.0, 3.0))
+
+
+class TestProfileTimer:
+    def test_counts_calls_and_accumulates_wall(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with registry.timed("section"):
+                pass
+        timer = registry.timer("section")
+        assert timer.calls == 3
+        assert timer.wall_seconds >= 0.0
+
+    def test_snapshot_excludes_wall_seconds_by_default(self):
+        registry = MetricsRegistry()
+        with registry.timed("section"):
+            pass
+        plain = json.loads(registry.snapshot())
+        assert plain["timers"]["section"] == {"calls": 1}
+        profiled = json.loads(registry.snapshot(include_profile=True))
+        assert "wall_seconds" in profiled["timers"]["section"]
+
+
+class TestDisabledRegistry:
+    def test_null_instruments_are_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        registry.gauge("g").set(5)
+        registry.histogram("h", DEADLINE_SLACK_BUCKETS).observe(1.0)
+        with registry.timed("t"):
+            pass
+        assert json.loads(registry.snapshot()) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "timers": {},
+        }
+
+    def test_disabled_snapshot_is_byte_stable(self):
+        assert MetricsRegistry(enabled=False).snapshot() == (
+            MetricsRegistry(enabled=False).snapshot()
+        )
+
+
+class TestSnapshotDiff:
+    def test_identical_snapshots_diff_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert MetricsRegistry.diff(
+            registry.snapshot(), registry.snapshot()
+        ) == {}
+
+    def test_diff_reports_changed_added_removed(self):
+        before = MetricsRegistry()
+        before.counter("kept").inc()
+        before.counter("removed").inc(2)
+        snap_before = before.snapshot()
+        after = MetricsRegistry()
+        after.counter("kept").inc(3)
+        after.gauge("added").set(1.5)
+        diff = MetricsRegistry.diff(snap_before, after.snapshot())
+        assert diff["counters.kept"] == [1, 3]
+        assert diff["counters.removed"] == [2, None]
+        assert diff["gauges.added"] == [None, 1.5]
+
+    def test_observability_snapshot_shape(self):
+        obs = Observability()
+        obs.registry.counter("c").inc()
+        snapshot = json.loads(obs.snapshot())
+        assert set(snapshot) == {"metrics", "timeline", "audit"}
+
+    def test_report_renders_all_sections(self):
+        obs = Observability()
+        obs.registry.counter("c").inc()
+        report = obs.report()
+        for section in (
+            "== counters ==", "== gauges ==", "== histograms ==",
+            "== timers ==", "== sessions ==", "== admission audit ==",
+        ):
+            assert section in report

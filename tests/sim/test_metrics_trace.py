@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, SimulationError
 from repro.sim.metrics import ContinuityMetrics, SweepSeries
 from repro.sim.trace import Tracer
 
@@ -144,3 +144,51 @@ class TestTracerFifoTruncation:
             tracer.emit(float(i), "t", "s")
         assert len(tracer) == 0
         assert tracer.dropped == 0
+
+
+class TestTracerStrictMode:
+    """The "no events dropped" contract: `dropped_count` lets tests
+    assert completeness, and strict mode turns a would-be drop into a
+    hard error instead of silently losing the oldest record."""
+
+    def test_dropped_count_mirrors_dropped(self):
+        tracer = Tracer(limit=3)
+        for i in range(5):
+            tracer.emit(float(i), "t", "s")
+        assert tracer.dropped_count == 2
+        assert tracer.dropped_count == tracer.dropped
+
+    def test_complete_trace_reports_zero_dropped(self):
+        tracer = Tracer(limit=10)
+        for i in range(10):
+            tracer.emit(float(i), "t", "s")
+        assert tracer.dropped_count == 0
+
+    def test_strict_mode_raises_on_overflow(self):
+        tracer = Tracer(limit=2, strict=True)
+        tracer.emit(0.0, "t", "s")
+        tracer.emit(1.0, "t", "s")
+        with pytest.raises(SimulationError, match="2-event limit"):
+            tracer.emit(2.0, "overflowing", "s")
+
+    def test_strict_overflow_preserves_existing_events(self):
+        tracer = Tracer(limit=2, strict=True)
+        tracer.emit(0.0, "t", "s", "0")
+        tracer.emit(1.0, "t", "s", "1")
+        with pytest.raises(SimulationError):
+            tracer.emit(2.0, "t", "s", "2")
+        assert [event.detail for event in tracer] == ["0", "1"]
+        assert tracer.dropped_count == 0
+
+    def test_strict_under_limit_is_transparent(self):
+        tracer = Tracer(limit=100, strict=True)
+        for i in range(50):
+            tracer.emit(float(i), "t", "s")
+        assert len(tracer) == 50
+        assert tracer.dropped_count == 0
+
+    def test_disabled_strict_tracer_never_raises(self):
+        tracer = Tracer(enabled=False, limit=1, strict=True)
+        for i in range(10):
+            tracer.emit(float(i), "t", "s")
+        assert len(tracer) == 0

@@ -1,0 +1,84 @@
+"""CI/tooling regressions: benchmark smoke mode, markers, lint config.
+
+The benchmark smoke job is the "benches can't silently rot" guard: it
+executes every ``benchmarks/bench_*.py`` end to end with tiny workloads
+in a subprocess, exactly as CI would.  The other tests pin the pytest
+marker registry and the ruff configuration so tooling entry points
+don't quietly disappear.
+"""
+
+import os
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run_pytest(args, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", *args, "-p", "no:cacheprovider"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+    )
+
+
+class TestBenchmarkSmoke:
+    def test_smoke_mode_runs_every_bench(self):
+        result = _run_pytest(
+            ["benchmarks", "--smoke", "--benchmark-disable"]
+        )
+        output = result.stdout + result.stderr
+        assert result.returncode == 0, output
+        assert "passed" in output
+        # Every benchmark module was collected (none silently skipped).
+        collected = _run_pytest(
+            ["benchmarks", "--smoke", "--collect-only", "-q",
+             "--benchmark-disable"]
+        )
+        bench_files = sorted(
+            path.name for path in (ROOT / "benchmarks").glob("bench_*.py")
+        )
+        for name in bench_files:
+            assert name in collected.stdout, (
+                f"{name} not collected by the smoke job"
+            )
+
+    def test_smoke_run_emits_observability_snapshot(self):
+        result = _run_pytest(
+            ["benchmarks/bench_micro_ops.py", "--smoke",
+             "--benchmark-disable"]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "observability snapshot" in result.stdout
+        assert '"metrics"' in result.stdout
+
+
+class TestMarkers:
+    def test_golden_marker_selects_golden_tests(self):
+        result = _run_pytest(
+            ["tests/obs", "-m", "golden", "--collect-only", "-q"]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "test_golden_traces" in result.stdout
+
+    def test_markers_are_registered(self):
+        config = tomllib.loads((ROOT / "pyproject.toml").read_text())
+        markers = config["tool"]["pytest"]["ini_options"]["markers"]
+        for name in ("chaos", "golden"):
+            assert any(m.startswith(f"{name}:") for m in markers), name
+
+
+class TestLintConfig:
+    def test_ruff_config_present_and_scoped(self):
+        config = tomllib.loads((ROOT / "pyproject.toml").read_text())
+        ruff = config["tool"]["ruff"]
+        assert ruff["target-version"] == "py39"
+        select = ruff["lint"]["select"]
+        assert "F" in select  # pyflakes family is the baseline
