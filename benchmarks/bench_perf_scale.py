@@ -1,0 +1,102 @@
+"""Perf-scale benchmark: service-loop throughput at production scale.
+
+Not a paper artifact — this is the BENCH_PERF.json trajectory the
+ROADMAP's "as fast as the hardware allows" goal is measured against.  It
+scores the §3.4 round loop at 10/100/1000 concurrent streams (1000-block
+strands), then runs a seeds × arrival-mixes × drive-configs sweep through
+the :mod:`repro.perf` parallel runner.  The scale points land in
+``BENCH_PERF.json`` at the repo root (``BENCH_PERF.smoke.json`` under
+``--smoke``, so CI never clobbers the committed trajectory).
+
+The trajectory to watch: ``blocks_per_second`` should stay flat across
+stream count and strand length — the incremental consumption cursor and
+cached disk models make per-block service cost O(1); any regression to
+super-linear cost shows up as a falling curve at the 1000-stream point.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import emit, param, pedantic_args, smoke_mode
+
+from repro.perf import run_scale_scenario, run_sweep, scale_grid
+from repro.perf.scenarios import ScaleScenario
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Concurrent-stream scale points (smoke: tiny but still multi-stream).
+STREAM_POINTS = param((10, 100, 1000), (2, 3))
+BLOCKS_PER_STREAM = param(1000, 12)
+SWEEP_SEEDS = param((0, 1), (0,))
+SWEEP_DRIVES = param(("testbed", "table"), ("testbed",))
+SWEEP_ARRIVALS = param(("uniform", "staggered"), ("uniform",))
+
+
+def _scenario(streams: int) -> ScaleScenario:
+    return ScaleScenario(
+        name=f"scale-n{streams}",
+        streams=streams,
+        blocks_per_stream=BLOCKS_PER_STREAM,
+        k=4,
+        buffer_capacity=8,
+        seed=0,
+        drive="testbed",
+    )
+
+
+def _bench_path() -> Path:
+    name = "BENCH_PERF.smoke.json" if smoke_mode() else "BENCH_PERF.json"
+    return ROOT / name
+
+
+def test_perf_scale_points(benchmark):
+    """Score every scale point; benchmark the largest; write the JSON."""
+    points = [run_scale_scenario(_scenario(n)) for n in STREAM_POINTS]
+
+    result = benchmark.pedantic(
+        run_scale_scenario,
+        args=(_scenario(STREAM_POINTS[-1]),),
+        **pedantic_args(),
+    )
+    assert result.blocks_delivered == (
+        STREAM_POINTS[-1] * BLOCKS_PER_STREAM
+    )
+
+    sweep = run_sweep(
+        scale_grid(
+            stream_counts=list(STREAM_POINTS[:-1]) or [STREAM_POINTS[0]],
+            blocks_per_stream=max(BLOCKS_PER_STREAM // 5, 4),
+            seeds=SWEEP_SEEDS,
+            drives=SWEEP_DRIVES,
+            arrivals=SWEEP_ARRIVALS,
+        ),
+        workers=None,
+    )
+
+    record = {
+        "benchmark": "perf_scale",
+        "schema_version": 1,
+        "mode": "smoke" if smoke_mode() else "full",
+        "blocks_per_stream": BLOCKS_PER_STREAM,
+        "points": [point.to_dict() for point in points],
+        "sweep": sweep.to_dict(),
+    }
+    path = _bench_path()
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    table_lines = [
+        f"perf scale trajectory ({record['mode']}) -> {path.name}"
+    ]
+    for point in points:
+        table_lines.append(
+            f"  n={point.streams:>5} x {point.blocks_per_stream} blocks: "
+            f"{point.wall_time_s:.3f}s wall, "
+            f"{point.blocks_per_second:,.0f} blocks/s, "
+            f"{point.streams_per_second:,.0f} streams/s"
+        )
+    emit("\n".join(table_lines), sweep.table())
+
+    for point in points:
+        assert point.blocks_delivered == (
+            point.streams * point.blocks_per_stream
+        )

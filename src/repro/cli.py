@@ -14,6 +14,9 @@ Commands
 ``obs-report [--faults] [--json] [--profile-timers]``
     Run a canonical observed scenario and print its observability
     report (or raw snapshot JSON) — see :mod:`repro.obs.scenarios`.
+``perf-sweep [--streams N ...] [--blocks N] [--workers N] [--json]``
+    Fan a grid of service-loop scale scenarios across worker processes
+    and print simulator-throughput scores — see :mod:`repro.perf`.
 """
 
 from __future__ import annotations
@@ -194,6 +197,32 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0 if run.result.total_misses == run.result.total_skips else 1
 
 
+def _cmd_perf_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf import run_sweep, scale_grid
+
+    grid = scale_grid(
+        stream_counts=args.streams,
+        blocks_per_stream=args.blocks,
+        seeds=args.seeds,
+        drives=args.drives,
+        arrivals=args.arrivals,
+        k=args.k,
+        buffer_capacity=args.buffer,
+    )
+    report = run_sweep(grid, workers=args.workers)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.table().render())
+        print(
+            f"\n{report.total_blocks} blocks in "
+            f"{format_seconds(report.wall_time_s)} wall"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -258,6 +287,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a head failure at this disk-op index (with --faults)",
     )
     obs_report.set_defaults(handler=_cmd_obs_report)
+
+    perf_sweep = commands.add_parser(
+        "perf-sweep",
+        help="run the parallel service-loop scale sweep",
+    )
+    perf_sweep.add_argument(
+        "--streams", type=int, nargs="+", default=[10, 100],
+        help="concurrent-stream counts to sweep (default: 10 100)",
+    )
+    perf_sweep.add_argument(
+        "--blocks", type=int, default=200,
+        help="blocks per stream (default: 200)",
+    )
+    perf_sweep.add_argument("--k", type=int, default=4)
+    perf_sweep.add_argument(
+        "--buffer", type=int, default=8,
+        help="display buffers per stream (default: 8)",
+    )
+    perf_sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="placement seeds to sweep (default: 0)",
+    )
+    perf_sweep.add_argument(
+        "--drives", nargs="+", default=["testbed"],
+        choices=["testbed", "fast", "table"],
+        help="drive configs to sweep (default: testbed)",
+    )
+    perf_sweep.add_argument(
+        "--arrivals", nargs="+", default=["uniform"],
+        choices=["uniform", "staggered"],
+        help="arrival mixes to sweep (default: uniform)",
+    )
+    perf_sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: min(scenarios, cpu count))",
+    )
+    perf_sweep.add_argument(
+        "--json", action="store_true",
+        help="print the sweep report as JSON",
+    )
+    perf_sweep.set_defaults(handler=_cmd_perf_sweep)
     return parser
 
 

@@ -119,6 +119,17 @@ class SimulatedDrive:
         self.obs = None
         self._obs_seek_hist = None
         self._obs_access_counter = None
+        # Geometry, seek curve, rotation, and rates are fixed for the
+        # drive's lifetime (all frozen dataclasses), so the per-access
+        # constants are resolved once instead of through property chains
+        # on every one of the millions of accesses a sweep performs.
+        self._block_bits = sectors_per_block * geometry.sector_bits
+        self._total_slots = geometry.slots(sectors_per_block)
+        self._sectors_per_cylinder = geometry.sectors_per_cylinder
+        self._full_block_transfer = self._block_bits / self.transfer_rate
+        self._fixed_latency = (
+            None if rotation.randomized else rotation.average_latency
+        )
 
     def attach_injector(self, injector) -> None:
         """Install a :class:`~repro.faults.injector.FaultInjector`.
@@ -151,12 +162,12 @@ class SimulatedDrive:
     @property
     def block_bits(self) -> float:
         """Bits per block slot."""
-        return self.sectors_per_block * self.geometry.sector_bits
+        return self._block_bits
 
     @property
     def slots(self) -> int:
         """Number of block slots on this drive."""
-        return self.geometry.slots(self.sectors_per_block)
+        return self._total_slots
 
     @property
     def head_cylinder(self) -> int:
@@ -231,12 +242,12 @@ class SimulatedDrive:
     # -- stateful operations --------------------------------------------------
 
     def _sample_latency(self) -> float:
-        if self.rotation.randomized:
-            return self.rotation.latency(self.rng)
-        return self.rotation.average_latency
+        if self._fixed_latency is not None:
+            return self._fixed_latency
+        return self.rotation.latency(self.rng)
 
     def _access(self, slot: int, bits: Optional[float]) -> float:
-        total_slots = self.slots
+        total_slots = self._total_slots
         if not 0 <= slot < total_slots:
             raise ParameterError(
                 f"slot {slot} outside drive (0..{total_slots - 1})"
@@ -247,12 +258,18 @@ class SimulatedDrive:
                 # Dead head: fail fast, no mechanism time charged.
                 self.stats.faults_injected += 1
                 raise fault
-        target = self.cylinder_of(slot)
+        # Slot range was checked above, so the cylinder arithmetic can
+        # skip the geometry layer's per-call LBA validation.
+        target = (slot * self.sectors_per_block) // self._sectors_per_cylinder
         distance = abs(target - self._head_cylinder)
         seek = self.seek_model.seek_time(distance)
         latency = self._sample_latency()
-        payload = self.block_bits if bits is None else min(bits, self.block_bits)
-        transfer = self.transfer_time(payload)
+        if bits is None or bits >= self._block_bits:
+            transfer = self._full_block_transfer
+        else:
+            if bits < 0:
+                raise ParameterError(f"bits must be >= 0, got {bits}")
+            transfer = bits / self.transfer_rate
         self._head_cylinder = target
         self.stats.seek_time += seek
         self.stats.rotation_time += latency

@@ -55,8 +55,29 @@ class SeekModel:
 
         The default implementation binary-searches :meth:`seek_time`
         over [0, cylinders−1]; subclasses with closed-form inverses
-        override it.
+        override it.  Results are memoized per ``(budget, cylinders)``
+        pair — the curve is immutable, and allocators ask the same
+        inversion question for every placement decision.
         """
+        cache = getattr(self, "_inverse_cache", None)
+        if cache is None:
+            cache = {}
+            try:
+                # Works on frozen-dataclass subclasses too (same route
+                # their own __init__ takes); only __slots__ types refuse.
+                object.__setattr__(self, "_inverse_cache", cache)
+            except AttributeError:
+                cache = None
+        key = (budget, cylinders)
+        if cache is not None and key in cache:
+            return cache[key]
+        result = self._invert_seek_time(budget, cylinders)
+        if cache is not None:
+            cache[key] = result
+        return result
+
+    def _invert_seek_time(self, budget: float, cylinders: int) -> int:
+        """Uncached binary-search inversion of :meth:`seek_time`."""
         if budget < 0:
             return -1
         low, high = 0, cylinders - 1
@@ -178,8 +199,21 @@ class TableSeek(SeekModel):
             raise ParameterError("table times must be non-decreasing")
         self._distances = list(distances)
         self._times = list(times)
+        #: distance → seconds memo.  A service run asks about the same
+        #: few stride distances millions of times; the table itself is
+        #: immutable, so entries never invalidate.
+        self._seek_cache: dict = {}
 
     def seek_time(self, distance: int) -> float:
+        cached = self._seek_cache.get(distance)
+        if cached is not None:
+            return cached
+        result = self._interpolate_seek_time(distance)
+        self._seek_cache[distance] = result
+        return result
+
+    def _interpolate_seek_time(self, distance: int) -> float:
+        """Uncached piecewise-linear interpolation."""
         self._check_distance(distance)
         if distance == 0:
             return 0.0

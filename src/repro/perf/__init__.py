@@ -1,0 +1,32 @@
+"""Scale-up performance harness: scenarios, sweeps, and throughput scoring.
+
+The ROADMAP's north star is a server that runs "as fast as the hardware
+allows" under heavy traffic.  This package is the measurement side of
+that claim: :mod:`repro.perf.scenarios` builds synthetic §3.4 service
+workloads at chosen scale points (streams × blocks per stream × drive
+configuration), and :mod:`repro.perf.sweep` fans grids of those
+scenarios across worker processes with :mod:`concurrent.futures`.
+
+The package is simulation-throughput oriented — it times how fast the
+*simulator* chews through service rounds (blocks/sec of wall clock), not
+the simulated continuity outcome, which the scenario result carries
+alongside for sanity checking.
+"""
+
+from repro.perf.scenarios import (
+    DRIVE_CONFIGS,
+    ScaleResult,
+    ScaleScenario,
+    run_scale_scenario,
+)
+from repro.perf.sweep import SweepReport, run_sweep, scale_grid
+
+__all__ = [
+    "DRIVE_CONFIGS",
+    "ScaleScenario",
+    "ScaleResult",
+    "run_scale_scenario",
+    "SweepReport",
+    "run_sweep",
+    "scale_grid",
+]

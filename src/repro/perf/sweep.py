@@ -1,0 +1,163 @@
+"""Parallel sweep runner: fan scenario grids across worker processes.
+
+A sweep is an embarrassingly parallel map of
+:func:`~repro.perf.scenarios.run_scale_scenario` over a scenario list —
+every scenario owns its drive and streams, so workers share nothing.
+:func:`run_sweep` uses :class:`concurrent.futures.ProcessPoolExecutor`
+when more than one worker is requested and falls back to in-process
+execution when pools are unavailable (restricted sandboxes) or pointless
+(one scenario, one worker).  Results always come back in scenario order,
+so a sweep's output is deterministic regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.report import Table
+from repro.errors import ParameterError
+from repro.perf.scenarios import (
+    ScaleResult,
+    ScaleScenario,
+    run_scale_scenario,
+)
+
+__all__ = ["SweepReport", "run_sweep", "scale_grid"]
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """All results of one sweep, in scenario order."""
+
+    results: Tuple[ScaleResult, ...]
+    workers: int
+    parallel: bool
+    wall_time_s: float
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks delivered across every scenario."""
+        return sum(r.blocks_delivered for r in self.results)
+
+    @property
+    def total_misses(self) -> int:
+        """Deadline misses across every scenario."""
+        return sum(r.misses for r in self.results)
+
+    def table(self) -> Table:
+        """Aligned text table of the sweep, one row per scenario."""
+        table = Table(
+            title=(
+                f"perf sweep ({len(self.results)} scenarios, "
+                f"{self.workers} worker(s), "
+                f"{'parallel' if self.parallel else 'serial'})"
+            ),
+            columns=[
+                "scenario", "streams", "blocks", "drive", "arrivals",
+                "wall (s)", "blocks/s", "rounds", "misses",
+            ],
+        )
+        for r in self.results:
+            table.add_row(
+                r.name, r.streams, r.blocks_per_stream, r.drive,
+                r.arrivals, r.wall_time_s, r.blocks_per_second,
+                r.rounds, r.misses,
+            )
+        return table
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (the BENCH_PERF.json sweep shape)."""
+        return {
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "wall_time_s": self.wall_time_s,
+            "total_blocks": self.total_blocks,
+            "total_misses": self.total_misses,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+def scale_grid(
+    stream_counts: Sequence[int],
+    blocks_per_stream: int,
+    seeds: Sequence[int] = (0,),
+    drives: Sequence[str] = ("testbed",),
+    arrivals: Sequence[str] = ("uniform",),
+    k: int = 4,
+    buffer_capacity: int = 8,
+) -> List[ScaleScenario]:
+    """The cartesian scenario grid: seeds × arrivals × drives × sizes."""
+    scenarios = []
+    for drive in drives:
+        for mode in arrivals:
+            for seed in seeds:
+                for streams in stream_counts:
+                    scenarios.append(
+                        ScaleScenario(
+                            name=(
+                                f"{drive}-{mode}-n{streams}"
+                                f"-b{blocks_per_stream}-seed{seed}"
+                            ),
+                            streams=streams,
+                            blocks_per_stream=blocks_per_stream,
+                            k=k,
+                            buffer_capacity=buffer_capacity,
+                            seed=seed,
+                            drive=drive,
+                            arrivals=mode,
+                        )
+                    )
+    return scenarios
+
+
+def _run_serial(scenarios: Sequence[ScaleScenario]) -> List[ScaleResult]:
+    return [run_scale_scenario(s) for s in scenarios]
+
+
+def run_sweep(
+    scenarios: Sequence[ScaleScenario],
+    workers: Optional[int] = None,
+) -> SweepReport:
+    """Run every scenario; returns a :class:`SweepReport` in input order.
+
+    Parameters
+    ----------
+    scenarios:
+        The grid to run (see :func:`scale_grid`).
+    workers:
+        Worker processes.  ``None`` picks ``min(len(scenarios),
+        cpu_count)``; ``1`` forces in-process execution (no pool, no
+        pickling — handy under profilers and in tests).
+    """
+    import time as _time
+
+    if not scenarios:
+        raise ParameterError("run_sweep needs at least one scenario")
+    if workers is not None and workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    if workers is None:
+        workers = min(len(scenarios), os.cpu_count() or 1)
+    workers = min(workers, len(scenarios))
+    start = _time.perf_counter()
+    parallel = workers > 1
+    if parallel:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                results = list(executor.map(run_scale_scenario, scenarios))
+        except (OSError, PermissionError):
+            # No process pools here (sandboxed /dev/shm, fork limits):
+            # degrade to serial rather than failing the sweep.
+            parallel = False
+            results = _run_serial(scenarios)
+    else:
+        results = _run_serial(scenarios)
+    wall = _time.perf_counter() - start
+    return SweepReport(
+        results=tuple(results),
+        workers=workers,
+        parallel=parallel,
+        wall_time_s=wall,
+    )

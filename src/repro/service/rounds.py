@@ -38,7 +38,37 @@ from repro.rope.server import BlockFetch
 from repro.sim.metrics import ContinuityMetrics
 from repro.sim.trace import Tracer
 
-__all__ = ["StreamState", "Admission", "RoundRobinService"]
+__all__ = [
+    "StreamState",
+    "Admission",
+    "RoundRobinService",
+    "consumed_prefix",
+]
+
+
+def consumed_prefix(
+    deliveries: Sequence[Tuple[float, float, float]],
+    start: float,
+    now: float,
+) -> Tuple[int, float]:
+    """Reference playback-consumption scan: ``(count, elapsed)`` at *now*.
+
+    Playback cascades over the delivery schedule: block j starts when its
+    data is ready and the previous block has finished, so consumption is a
+    running fold over ``(ready, duration)``.  This is the O(n) rescan the
+    :class:`StreamState` cursor replaces on its hot path; it remains the
+    ground truth for non-monotone queries and for the equivalence tests.
+    """
+    count = 0
+    elapsed = start
+    for ready, _deadline, duration in deliveries:
+        end = max(elapsed, ready) + duration
+        if end <= now:
+            count += 1
+            elapsed = end
+        else:
+            break
+    return count, elapsed
 
 
 @dataclass
@@ -63,6 +93,13 @@ class StreamState:
     #: Delivery indexes whose data never arrived (fault-recovery skips);
     #: the playback timeline still advances over them (the glitch).
     skipped_indices: Set[int] = field(default_factory=set)
+    #: Consumption cursor: blocks fully played as of the last query, and
+    #: the playback clock right after the last consumed block.  Block end
+    #: times are non-decreasing, so the cursor only ever moves forward
+    #: while query times are monotone — the service loop's case — making
+    #: every consumption query O(1) amortized over a stream's lifetime.
+    _consumed_count: int = field(default=0, init=False, repr=False)
+    _consumed_end: float = field(default=0.0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.metrics.request_id = self.request_id
@@ -76,24 +113,41 @@ class StreamState:
         """True when every block has been delivered."""
         return self.next_fetch >= len(self.fetches)
 
+    def _consume_state(self, now: float) -> Tuple[int, float]:
+        """``(consumed count, playback clock after them)`` at *now*.
+
+        Advances the cached cursor forward when *now* has not moved
+        backwards; a query earlier than the last consumed block's end
+        (never issued by the service loop) falls back to the reference
+        rescan without disturbing the cursor.
+        """
+        if self.clock_start is None:
+            return 0, 0.0
+        count = self._consumed_count
+        if count and now < self._consumed_end:
+            return consumed_prefix(self.deliveries, self.clock_start, now)
+        elapsed = self._consumed_end if count else self.clock_start
+        deliveries = self.deliveries
+        total = len(deliveries)
+        while count < total:
+            ready, _deadline, duration = deliveries[count]
+            end = max(elapsed, ready) + duration
+            if end > now:
+                break
+            count += 1
+            elapsed = end
+        if count != self._consumed_count:
+            self._consumed_count = count
+            self._consumed_end = elapsed
+        return count, elapsed
+
     def consumed_at(self, now: float) -> int:
         """Blocks whose playback has completed by *now*."""
-        if self.clock_start is None:
-            return 0
-        count = 0
-        elapsed = self.clock_start
-        for ready, _deadline, duration in self.deliveries:
-            end = max(elapsed, ready) + duration
-            if end <= now:
-                count += 1
-                elapsed = end
-            else:
-                break
-        return count
+        return self._consume_state(now)[0]
 
     def buffered_at(self, now: float) -> int:
         """Blocks sitting in the display buffer at *now*."""
-        return len(self.deliveries) - self.consumed_at(now)
+        return len(self.deliveries) - self._consume_state(now)[0]
 
     def next_consumption_time(self, now: float) -> float:
         """When the next buffered block finishes playing (inf if never).
@@ -103,13 +157,11 @@ class StreamState:
         """
         if self.clock_start is None:
             return float("inf")
-        elapsed = self.clock_start
-        for ready, _deadline, duration in self.deliveries:
-            end = max(elapsed, ready) + duration
-            if end > now:
-                return end
-            elapsed = end
-        return float("inf")
+        count, elapsed = self._consume_state(now)
+        if count >= len(self.deliveries):
+            return float("inf")
+        ready, _deadline, duration = self.deliveries[count]
+        return max(elapsed, ready) + duration
 
 
 @dataclass(frozen=True)
@@ -199,19 +251,32 @@ class RoundRobinService:
         time = 0.0
         active: List[StreamState] = list(initial)
         pending = sorted(admissions, key=lambda a: a.round_number)
+        next_pending = 0
         round_number = 0
         while True:
-            while pending and pending[0].round_number <= round_number:
-                admitted = pending.pop(0)
+            while (
+                next_pending < len(pending)
+                and pending[next_pending].round_number <= round_number
+            ):
+                admitted = pending[next_pending]
+                next_pending += 1
                 active.append(admitted.stream)
                 self.tracer.emit(
                     time, "admit", admitted.stream.request_id,
                     f"round {round_number}",
                 )
-            active = [stream for stream in active if not stream.finished]
-            if not active and not pending and not self._extra_work_pending():
+            # Compact finished streams out in place, preserving order.
+            write = 0
+            for stream in active:
+                if not stream.finished:
+                    active[write] = stream
+                    write += 1
+            if write != len(active):
+                del active[write:]
+            more_pending = next_pending < len(pending)
+            if not active and not more_pending and not self._extra_work_pending():
                 break
-            if not active and pending and not self._extra_work_pending():
+            if not active and more_pending and not self._extra_work_pending():
                 round_number += 1
                 continue
             k = self.k_schedule(round_number, len(active))

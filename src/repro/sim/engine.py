@@ -162,15 +162,17 @@ class Engine:
                 if self.obs is not None:
                     self._publish_obs()
                 return self._now
+            if executed >= max_events:
+                # Exact bound: the guard fires before event max_events + 1
+                # would run, leaving it (and the clock) untouched.
+                raise SimulationError(
+                    f"exceeded {max_events} events; suspected infinite loop"
+                )
             heapq.heappop(self._calendar)
             self._now = when
             action()
             executed += 1
             self.events_executed += 1
-            if executed > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; suspected infinite loop"
-                )
         if until is not None and until > self._now:
             self._now = until
         if self.obs is not None:

@@ -1,0 +1,105 @@
+"""Hypothesis: the consumption cursor equals the reference rescan.
+
+Randomized delivery schedules (ready times and durations), randomized
+clock starts, and randomized — deliberately non-monotone — query
+sequences: for every query, ``consumed_at`` / ``buffered_at`` /
+``next_consumption_time`` through the cached cursor must equal a fresh
+O(n) rescan of the same schedule.  The non-monotone queries force the
+cursor's cold fallback path; interleaved monotone runs exercise the
+amortized advance.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.rounds import StreamState, consumed_prefix
+
+pytestmark = pytest.mark.perf
+
+times = st.floats(
+    min_value=0.0, max_value=200.0,
+    allow_nan=False, allow_infinity=False,
+)
+durations = st.floats(
+    min_value=0.0, max_value=10.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+schedules = st.lists(st.tuples(times, durations), max_size=40)
+queries = st.lists(
+    st.floats(
+        min_value=0.0, max_value=500.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def _reference_next_consumption(deliveries, start, now):
+    count, elapsed = consumed_prefix(deliveries, start, now)
+    if count >= len(deliveries):
+        return math.inf
+    ready, _deadline, duration = deliveries[count]
+    return max(elapsed, ready) + duration
+
+
+def _stream_with(schedule, clock_start):
+    stream = StreamState(
+        request_id="prop", fetches=(), buffer_capacity=1,
+    )
+    stream.deliveries = [
+        (ready, 0.0, duration) for ready, duration in schedule
+    ]
+    stream.clock_start = clock_start
+    return stream
+
+
+class TestCursorMatchesReference:
+    @settings(deadline=None, max_examples=200)
+    @given(schedule=schedules, clock_start=times, now_values=queries)
+    def test_arbitrary_query_order(
+        self, schedule, clock_start, now_values
+    ):
+        stream = _stream_with(schedule, clock_start)
+        for now in now_values:
+            expect_count, _ = consumed_prefix(
+                stream.deliveries, clock_start, now
+            )
+            assert stream.consumed_at(now) == expect_count
+            assert stream.buffered_at(now) == (
+                len(stream.deliveries) - expect_count
+            )
+            assert stream.next_consumption_time(now) == (
+                _reference_next_consumption(
+                    stream.deliveries, clock_start, now
+                )
+            )
+
+    @settings(deadline=None, max_examples=100)
+    @given(schedule=schedules, clock_start=times, now_values=queries)
+    def test_monotone_query_order(
+        self, schedule, clock_start, now_values
+    ):
+        stream = _stream_with(schedule, clock_start)
+        for now in sorted(now_values):
+            expect_count, _ = consumed_prefix(
+                stream.deliveries, clock_start, now
+            )
+            assert stream.consumed_at(now) == expect_count
+
+    @settings(deadline=None, max_examples=50)
+    @given(schedule=schedules, now_values=queries)
+    def test_unstarted_clock_consumes_nothing(self, schedule, now_values):
+        stream = StreamState(
+            request_id="prop", fetches=(), buffer_capacity=1,
+        )
+        stream.deliveries = [
+            (ready, 0.0, duration) for ready, duration in schedule
+        ]
+        for now in now_values:
+            assert stream.consumed_at(now) == 0
+            assert stream.buffered_at(now) == len(stream.deliveries)
+            assert stream.next_consumption_time(now) == math.inf

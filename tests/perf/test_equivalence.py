@@ -1,0 +1,112 @@
+"""Behavioral equivalence: the fast paths change nothing observable.
+
+A ``ReferenceStreamState`` recomputes consumption with the O(n) rescan on
+every query — the pre-optimization semantics, kept alive here as the
+oracle.  Whole service runs through the cursor implementation must
+produce byte-identical :meth:`ContinuityMetrics.summary` lines, identical
+delivery schedules, and byte-identical observability snapshots.
+"""
+
+from typing import Tuple
+
+import pytest
+
+import repro.service.session as session_module
+from repro.disk.factory import build_drive
+from repro.obs.scenarios import run_fault_scenario, run_steady_scenario
+from repro.perf.scenarios import ScaleScenario, build_streams
+from repro.service.rounds import (
+    RoundRobinService,
+    StreamState,
+    consumed_prefix,
+)
+
+pytestmark = pytest.mark.perf
+
+
+class ReferenceStreamState(StreamState):
+    """Pre-cursor semantics: full rescan per consumption query."""
+
+    def _consume_state(self, now: float) -> Tuple[int, float]:
+        if self.clock_start is None:
+            return 0, 0.0
+        return consumed_prefix(self.deliveries, self.clock_start, now)
+
+
+def _run(scenario: ScaleScenario, stream_cls):
+    drive = build_drive()
+    initial, admissions = build_streams(scenario, drive)
+
+    def convert(stream):
+        return stream_cls(
+            request_id=stream.request_id,
+            fetches=stream.fetches,
+            buffer_capacity=stream.buffer_capacity,
+        )
+
+    initial = [convert(s) for s in initial]
+    admissions = [
+        type(a)(round_number=a.round_number, stream=convert(a.stream))
+        for a in admissions
+    ]
+    service = RoundRobinService(drive, lambda _r, _n: scenario.k)
+    metrics = service.run(initial, admissions)
+    streams = initial + [a.stream for a in admissions]
+    return metrics, streams, service.rounds_run
+
+
+SCENARIOS = [
+    ScaleScenario(
+        name="uniform", streams=6, blocks_per_stream=50, k=4,
+        buffer_capacity=6, seed=11,
+    ),
+    ScaleScenario(
+        name="staggered", streams=6, blocks_per_stream=40, k=3,
+        buffer_capacity=5, seed=4, arrivals="staggered",
+    ),
+    ScaleScenario(
+        name="tight-buffers", streams=4, blocks_per_stream=60, k=5,
+        buffer_capacity=2, seed=9,
+    ),
+]
+
+
+class TestServiceEquivalence:
+    @pytest.mark.parametrize(
+        "scenario", SCENARIOS, ids=[s.name for s in SCENARIOS]
+    )
+    def test_summaries_byte_identical(self, scenario):
+        fast_metrics, fast_streams, fast_rounds = _run(
+            scenario, StreamState
+        )
+        ref_metrics, ref_streams, ref_rounds = _run(
+            scenario, ReferenceStreamState
+        )
+        assert fast_rounds == ref_rounds
+        assert sorted(fast_metrics) == sorted(ref_metrics)
+        for rid in fast_metrics:
+            assert fast_metrics[rid].summary() == (
+                ref_metrics[rid].summary()
+            )
+        for fast, ref in zip(fast_streams, ref_streams):
+            assert fast.deliveries == ref.deliveries
+            assert fast.clock_start == ref.clock_start
+            assert fast.skipped_indices == ref.skipped_indices
+
+
+class TestObservedEquivalence:
+    def test_steady_snapshot_unchanged_by_cursor(self, monkeypatch):
+        fast = run_steady_scenario(seconds=2.0).snapshot()
+        monkeypatch.setattr(
+            session_module, "StreamState", ReferenceStreamState
+        )
+        reference = run_steady_scenario(seconds=2.0).snapshot()
+        assert fast == reference
+
+    def test_fault_snapshot_unchanged_by_cursor(self, monkeypatch):
+        fast = run_fault_scenario(seconds=2.0).snapshot()
+        monkeypatch.setattr(
+            session_module, "StreamState", ReferenceStreamState
+        )
+        reference = run_fault_scenario(seconds=2.0).snapshot()
+        assert fast == reference

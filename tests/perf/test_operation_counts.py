@@ -1,0 +1,157 @@
+"""Operation-count invariants: the O(1) fast paths stay O(1).
+
+These tests wrap the hot-path collaborators with counting proxies and
+assert *how much work* a service run performs, not just what it returns:
+
+* the :class:`StreamState` consumption cursor never falls back to the
+  O(n) reference rescan during a (monotone-time) service run;
+* :class:`TableSeek` interpolates each distance once, ever;
+* the generic ``max_distance_within`` binary search runs once per
+  distinct ``(budget, cylinders)`` pair;
+* :meth:`SimulatedDrive.read_slot` costs exactly one seek-curve
+  evaluation per access.
+
+If a future change quietly reintroduces a rescan or a per-access
+recomputation, these counters move and the suite fails — the perf
+guarantee is pinned behaviorally, without timing flakiness.
+"""
+
+import pytest
+
+import repro.service.rounds as rounds_module
+from repro.disk.factory import TESTBED_DRIVE, build_drive
+from repro.disk.seek import LinearSeek, SeekModel, TableSeek
+from repro.perf.scenarios import ScaleScenario, build_streams
+from repro.service.rounds import RoundRobinService, consumed_prefix
+
+pytestmark = pytest.mark.perf
+
+
+class CountingSeek(SeekModel):
+    """Delegating seek-curve wrapper that counts :meth:`seek_time` calls."""
+
+    def __init__(self, inner: SeekModel):
+        self.inner = inner
+        self.seek_time_calls = 0
+
+    def seek_time(self, distance: int) -> float:
+        self.seek_time_calls += 1
+        return self.inner.seek_time(distance)
+
+
+class CountingTableSeek(TableSeek):
+    """TableSeek that counts actual (uncached) interpolations."""
+
+    def __init__(self, points):
+        super().__init__(points)
+        self.interpolations = 0
+
+    def _interpolate_seek_time(self, distance: int) -> float:
+        self.interpolations += 1
+        return super()._interpolate_seek_time(distance)
+
+
+def _service_run(streams=8, blocks=60):
+    scenario = ScaleScenario(
+        name="count", streams=streams, blocks_per_stream=blocks,
+        k=4, buffer_capacity=6, seed=7,
+    )
+    drive = build_drive()
+    initial, admissions = build_streams(scenario, drive)
+    service = RoundRobinService(drive, lambda _r, _n: scenario.k)
+    metrics = service.run(initial, admissions)
+    return metrics, streams * blocks
+
+
+class TestConsumptionCursor:
+    def test_service_run_never_rescans(self, monkeypatch):
+        """The monotone service loop stays on the O(1) cursor path."""
+        calls = []
+
+        def spying_prefix(deliveries, start, now):
+            calls.append(now)
+            return consumed_prefix(deliveries, start, now)
+
+        monkeypatch.setattr(
+            rounds_module, "consumed_prefix", spying_prefix
+        )
+        metrics, total_blocks = _service_run()
+        assert sum(m.blocks_delivered for m in metrics.values()) == (
+            total_blocks
+        )
+        assert calls == [], (
+            "service run hit the O(n) reference rescan "
+            f"{len(calls)} times; the cursor hot path regressed"
+        )
+
+    def test_cursor_consumes_each_block_once(self):
+        """Cursor work is bounded by delivered blocks (amortized O(1))."""
+        scenario = ScaleScenario(
+            name="amortized", streams=4, blocks_per_stream=80,
+            k=4, buffer_capacity=6, seed=3,
+        )
+        drive = build_drive()
+        initial, _ = build_streams(scenario, drive)
+        service = RoundRobinService(drive, lambda _r, _n: scenario.k)
+        service.run(initial)
+        for stream in initial:
+            assert stream._consumed_count <= len(stream.deliveries)
+
+
+class TestTableSeekMemo:
+    POINTS = [(1, 0.004), (100, 0.012), (1000, 0.025)]
+
+    def test_each_distance_interpolated_once(self):
+        seek = CountingTableSeek(self.POINTS)
+        distances = [0, 1, 7, 100, 450, 1000, 2000]
+        expected = [seek.seek_time(d) for d in distances]
+        assert seek.interpolations == len(distances)
+        for _ in range(100):
+            got = [seek.seek_time(d) for d in distances]
+            assert got == expected
+        assert seek.interpolations == len(distances)
+
+    def test_cache_preserves_curve_values(self):
+        cached = TableSeek(self.POINTS)
+        reference = TableSeek(self.POINTS)
+        for d in range(0, 2001, 13):
+            assert cached.seek_time(d) == (
+                reference._interpolate_seek_time(d)
+            )
+
+
+class TestInverseMemo:
+    def test_generic_inversion_binary_searches_once(self):
+        seek = CountingSeek(LinearSeek(settle_time=0.003, slope=2e-5))
+        first = seek.max_distance_within(0.010, 1024)
+        searched = seek.seek_time_calls
+        assert searched > 0  # the binary search really ran
+        for _ in range(50):
+            assert seek.max_distance_within(0.010, 1024) == first
+        assert seek.seek_time_calls == searched
+
+    def test_memo_matches_uncached_inversion(self):
+        seek = CountingSeek(LinearSeek(settle_time=0.003, slope=2e-5))
+        for budget in (0.0, 0.003, 0.0051, 0.010, 1.0):
+            for cylinders in (8, 1024):
+                assert seek.max_distance_within(budget, cylinders) == (
+                    seek._invert_seek_time(budget, cylinders)
+                )
+
+
+class TestDriveAccessCost:
+    def test_one_seek_evaluation_per_read(self):
+        counting = CountingSeek(TESTBED_DRIVE.seek_model())
+        drive = build_drive()
+        drive.seek_model = counting
+        reads = 200
+        for i in range(reads):
+            drive.read_slot((i * 37) % drive.slots)
+        assert counting.seek_time_calls == reads
+
+    def test_full_block_fast_path_matches_explicit_bits(self):
+        a, b = build_drive(), build_drive()
+        for i in range(50):
+            slot = (i * 101) % a.slots
+            assert a.read_slot(slot) == b.read_slot(slot, b.block_bits)
+        assert a.stats.busy_time == b.stats.busy_time

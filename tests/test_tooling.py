@@ -7,6 +7,7 @@ marker registry and the ruff configuration so tooling entry points
 don't quietly disappear.
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -14,6 +15,13 @@ import tomllib
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+
+#: Required keys of a BENCH_PERF.json scale point (ScaleResult.to_dict).
+BENCH_PERF_POINT_KEYS = {
+    "name", "streams", "blocks_per_stream", "drive", "arrivals", "seed",
+    "wall_time_s", "rounds", "blocks_delivered", "misses",
+    "blocks_per_second", "streams_per_second",
+}
 
 
 def _run_pytest(args, timeout=300):
@@ -60,6 +68,54 @@ class TestBenchmarkSmoke:
         assert '"metrics"' in result.stdout
 
 
+class TestBenchPerfSchema:
+    @staticmethod
+    def _validate_record(record):
+        assert record["benchmark"] == "perf_scale"
+        assert record["schema_version"] == 1
+        assert record["mode"] in ("full", "smoke")
+        assert record["points"], "no scale points recorded"
+        for point in record["points"]:
+            assert BENCH_PERF_POINT_KEYS <= set(point), point
+            assert point["wall_time_s"] >= 0
+            assert point["blocks_delivered"] == (
+                point["streams"] * point["blocks_per_stream"]
+            )
+        sweep = record["sweep"]
+        assert sweep["workers"] >= 1
+        for row in sweep["results"]:
+            assert BENCH_PERF_POINT_KEYS <= set(row), row
+
+    def test_smoke_run_emits_schema_valid_bench_perf_json(self):
+        result = _run_pytest(
+            ["benchmarks/bench_perf_scale.py", "--smoke",
+             "--benchmark-disable"]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        smoke_path = ROOT / "BENCH_PERF.smoke.json"
+        assert smoke_path.exists(), (
+            "bench_perf_scale --smoke did not write BENCH_PERF.smoke.json"
+        )
+        record = json.loads(smoke_path.read_text())
+        self._validate_record(record)
+        assert record["mode"] == "smoke"
+
+    def test_committed_trajectory_is_schema_valid(self):
+        path = ROOT / "BENCH_PERF.json"
+        assert path.exists(), (
+            "BENCH_PERF.json missing; regenerate with "
+            "`pytest benchmarks/bench_perf_scale.py --benchmark-disable`"
+        )
+        record = json.loads(path.read_text())
+        self._validate_record(record)
+        assert record["mode"] == "full"
+        streams = [p["streams"] for p in record["points"]]
+        assert streams == sorted(streams)
+        assert streams[-1] >= 1000, (
+            "full trajectory must include the 1000-stream point"
+        )
+
+
 class TestMarkers:
     def test_golden_marker_selects_golden_tests(self):
         result = _run_pytest(
@@ -71,8 +127,16 @@ class TestMarkers:
     def test_markers_are_registered(self):
         config = tomllib.loads((ROOT / "pyproject.toml").read_text())
         markers = config["tool"]["pytest"]["ini_options"]["markers"]
-        for name in ("chaos", "golden"):
+        for name in ("chaos", "golden", "perf"):
             assert any(m.startswith(f"{name}:") for m in markers), name
+
+    def test_perf_marker_selects_perf_tests(self):
+        result = _run_pytest(
+            ["tests/perf", "-m", "perf", "--collect-only", "-q"]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "test_operation_counts" in result.stdout
+        assert "test_sweep" in result.stdout
 
 
 class TestLintConfig:
