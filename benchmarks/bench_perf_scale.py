@@ -19,7 +19,12 @@ from pathlib import Path
 
 from conftest import emit, param, pedantic_args, smoke_mode
 
-from repro.perf import run_scale_scenario, run_sweep, scale_grid
+from repro.perf import (
+    run_scale_scenario,
+    run_server_compare_scenario,
+    run_sweep,
+    scale_grid,
+)
 from repro.perf.scenarios import ScaleScenario
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -30,6 +35,8 @@ BLOCKS_PER_STREAM = param(1000, 12)
 SWEEP_SEEDS = param((0, 1), (0,))
 SWEEP_DRIVES = param(("testbed", "table"), ("testbed",))
 SWEEP_ARRIVALS = param(("uniform", "staggered"), ("uniform",))
+SERVE_SESSIONS = param(50, 8)
+SERVE_STRANDS = param(5, 2)
 
 
 def _scenario(streams: int) -> ScaleScenario:
@@ -73,6 +80,15 @@ def test_perf_scale_points(benchmark):
         workers=None,
     )
 
+    compare = run_server_compare_scenario(
+        sessions=SERVE_SESSIONS, strands=SERVE_STRANDS
+    )
+    assert compare.batched_wins, (
+        "batched+cached admission must sustain strictly more continuous "
+        f"streams than per-request: {compare.batched_continuous} vs "
+        f"{compare.per_request_continuous}"
+    )
+
     record = {
         "benchmark": "perf_scale",
         "schema_version": 1,
@@ -80,6 +96,7 @@ def test_perf_scale_points(benchmark):
         "blocks_per_stream": BLOCKS_PER_STREAM,
         "points": [point.to_dict() for point in points],
         "sweep": sweep.to_dict(),
+        "server_compare": compare.to_dict(),
     }
     path = _bench_path()
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -94,6 +111,11 @@ def test_perf_scale_points(benchmark):
             f"{point.blocks_per_second:,.0f} blocks/s, "
             f"{point.streams_per_second:,.0f} streams/s"
         )
+    table_lines.append(
+        f"  serve compare: batched {compare.batched_continuous} vs "
+        f"per-request {compare.per_request_continuous} continuous "
+        f"({compare.sessions_per_second:,.0f} sessions/s)"
+    )
     emit("\n".join(table_lines), sweep.table())
 
     for point in points:

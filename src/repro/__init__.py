@@ -24,21 +24,41 @@ for Digital Video and Audio* (SOSP 1991):
   quantitative figure in the paper (:mod:`repro.workload`,
   :mod:`repro.analysis`).
 
+The supported public surface is the typed message API plus the
+multi-tenant server front end:
+
+* :mod:`repro.api` — the request/response dataclasses every client
+  speaks (re-exported here: :class:`OpenSessionRequest`,
+  :class:`SessionStatus`, :class:`ServeResult`, …);
+* :class:`repro.server.MediaServer` — owns the storage-manager +
+  rope-server + service stack and serves request queues end to end with
+  batched admission, a block cache, and typed overload.
+
 Quick start::
 
-    from repro import config, core
+    from repro import MediaServer, OpenSessionRequest
+    from repro.server import build_media_server
 
-    profile = config.TESTBED_1991
-    block = core.video_block_model(profile.video, granularity=4)
-    l_max = core.max_scattering(
-        core.Architecture.PIPELINED, block, profile.disk,
-        profile.video_device,
+    server = build_media_server()
+    # ... record ropes via server.mrs, then:
+    result = server.serve(
+        [OpenSessionRequest(client_id="alice", rope_id="R0001")]
     )
-    print(f"blocks may be scattered up to {l_max * 1e3:.2f} ms apart")
+    print(result.continuous_sessions)
+
+The lower layers (``core``, ``disk``, ``fs``, ``rope``, ``service``, …)
+stay importable for library use and experiments; the old habit of
+importing their classes straight off ``repro`` (``repro.PlaybackSession``
+etc.) still works but warns :class:`DeprecationWarning` — reach into the
+owning module, or better, use the facade above.
 """
+
+import importlib
+import warnings
 
 from repro import (
     analysis,
+    api,
     config,
     core,
     disk,
@@ -48,16 +68,44 @@ from repro import (
     media,
     obs,
     rope,
+    server,
     service,
     sim,
     units,
     workload,
 )
+from repro.api import (
+    Media,
+    OpenSessionRequest,
+    OpenSessionResponse,
+    PauseRequest,
+    PlayRequest,
+    RejectReason,
+    ResumeRequest,
+    ServeResult,
+    SessionState,
+    SessionStatus,
+    StopRequest,
+)
+from repro.server import MediaServer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Media",
+    "MediaServer",
+    "OpenSessionRequest",
+    "OpenSessionResponse",
+    "PauseRequest",
+    "PlayRequest",
+    "RejectReason",
+    "ResumeRequest",
+    "ServeResult",
+    "SessionState",
+    "SessionStatus",
+    "StopRequest",
     "analysis",
+    "api",
     "config",
     "core",
     "disk",
@@ -67,9 +115,42 @@ __all__ = [
     "media",
     "obs",
     "rope",
+    "server",
     "service",
     "sim",
     "units",
     "workload",
     "__version__",
 ]
+
+#: Old top-level entry points, kept importable behind a DeprecationWarning.
+#: name -> (owning module, attribute, suggested replacement)
+_DEPRECATED_ALIASES = {
+    "MultimediaStorageManager": (
+        "repro.fs", "MultimediaStorageManager", "repro.fs"
+    ),
+    "MultimediaRopeServer": (
+        "repro.rope", "MultimediaRopeServer", "repro.rope"
+    ),
+    "PlaybackSession": (
+        "repro.service", "PlaybackSession", "repro.server.MediaServer"
+    ),
+    "RoundRobinService": (
+        "repro.service", "RoundRobinService", "repro.server.MediaServer"
+    ),
+    "stub_for": ("repro.service.rpc", "stub_for", "repro.service.rpc"),
+}
+
+
+def __getattr__(name):
+    """Resolve deprecated top-level aliases with a warning (PEP 562)."""
+    if name in _DEPRECATED_ALIASES:
+        module_name, attribute, replacement = _DEPRECATED_ALIASES[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; import {attribute} from "
+            f"{module_name} (or use {replacement})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -17,6 +17,16 @@ Commands
 ``perf-sweep [--streams N ...] [--blocks N] [--workers N] [--json]``
     Fan a grid of service-loop scale scenarios across worker processes
     and print simulator-throughput scores — see :mod:`repro.perf`.
+``serve [--sessions N] [--strands N] [--compare] [--smoke] [--json]``
+    Run a multi-tenant :class:`repro.server.MediaServer` scenario —
+    batched admission + block cache — and print the outcome; with
+    ``--compare``, pit it against per-request admission on the same
+    disk (see :mod:`repro.server.scenarios`).
+
+Every scenario-running subcommand (``demo``, ``obs-report``,
+``perf-sweep``, ``serve``) accepts ``--seed`` and ``--json`` via one
+shared option builder, so scripted callers can rely on the same
+determinism and output contract everywhere.
 """
 
 from __future__ import annotations
@@ -64,6 +74,24 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "e20": analysis.e20_heterogeneous_k,
     "e21": analysis.e21_record_and_play,
 }
+
+
+def _add_common_options(
+    parser: argparse.ArgumentParser,
+    seed_default: int = 20260806,
+    seed_help: str = "deterministic scenario seed",
+    json_help: str = "print machine-readable JSON instead of the report",
+) -> argparse.ArgumentParser:
+    """Attach the ``--seed`` / ``--json`` pair every scenario command has.
+
+    One shared builder keeps the contract uniform: the same flag names,
+    types, and defaults on ``demo``, ``obs-report``, ``perf-sweep``, and
+    ``serve`` — tests introspect the parser to enforce this.
+    """
+    parser.add_argument("--seed", type=int, default=seed_default,
+                        help=seed_help)
+    parser.add_argument("--json", action="store_true", help=json_help)
+    return parser
 
 
 def _cmd_profiles(_args: argparse.Namespace) -> int:
@@ -162,18 +190,30 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     chunks = generate_talk_spurts(profile.audio, args.seconds, 0.35, rng)
     request_id, rope_id = mrs.record("demo", frames=frames, chunks=chunks)
     mrs.stop(request_id)
-    print(
-        f"recorded rope {rope_id}: "
-        f"{mrs.get_rope(rope_id).duration:.2f} s"
-    )
     play_id = mrs.play("demo", rope_id, media=Media.AUDIO_VISUAL)
     result = PlaybackSession(mrs).run([play_id])
     metrics = result.metrics[play_id]
-    print(
-        f"played {metrics.blocks_delivered} blocks, misses "
-        f"{metrics.misses}, startup "
-        f"{format_seconds(metrics.startup_latency)}"
-    )
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "rope_id": rope_id,
+            "duration": mrs.get_rope(rope_id).duration,
+            "blocks_delivered": metrics.blocks_delivered,
+            "misses": metrics.misses,
+            "startup_latency": metrics.startup_latency,
+            "continuous": metrics.continuous,
+        }, indent=2, sort_keys=True))
+    else:
+        print(
+            f"recorded rope {rope_id}: "
+            f"{mrs.get_rope(rope_id).duration:.2f} s"
+        )
+        print(
+            f"played {metrics.blocks_delivered} blocks, misses "
+            f"{metrics.misses}, startup "
+            f"{format_seconds(metrics.startup_latency)}"
+        )
     return 0 if metrics.continuous else 1
 
 
@@ -205,7 +245,7 @@ def _cmd_perf_sweep(args: argparse.Namespace) -> int:
     grid = scale_grid(
         stream_counts=args.streams,
         blocks_per_stream=args.blocks,
-        seeds=args.seeds,
+        seeds=args.seeds if args.seeds is not None else [args.seed],
         drives=args.drives,
         arrivals=args.arrivals,
         k=args.k,
@@ -221,6 +261,71 @@ def _cmd_perf_sweep(args: argparse.Namespace) -> int:
             f"{format_seconds(report.wall_time_s)} wall"
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server import run_serve_compare, run_server_hot_scenario
+
+    if args.compare:
+        record = run_serve_compare(
+            sessions=args.sessions,
+            strands=args.strands,
+            seconds=args.seconds,
+            seed=args.seed,
+        )
+        if args.json:
+            print(json.dumps(record, indent=2, sort_keys=True))
+        else:
+            batched, per_request = record["batched"], record["per_request"]
+            print(
+                f"{record['sessions']} sessions over "
+                f"{record['strands']} hot strands:"
+            )
+            print(
+                f"  batched + cached : {batched['continuous']} continuous "
+                f"({batched['batches']} batches, "
+                f"{batched['cache_hits']} cache hits)"
+            )
+            print(
+                f"  per-request      : {per_request['continuous']} "
+                f"continuous ({per_request['rejected']} rejected)"
+            )
+        won = (
+            record["batched"]["continuous"]
+            > record["per_request"]["continuous"]
+        )
+        return 0 if won else 1
+    if args.smoke:
+        run = run_server_hot_scenario(
+            sessions=6, strands=2, seconds=1.0, seed=args.seed
+        )
+        print(run.snapshot())
+        return 0 if run.final.total_misses == 0 else 1
+    run = run_server_hot_scenario(
+        sessions=args.sessions,
+        strands=args.strands,
+        seconds=args.seconds,
+        seed=args.seed,
+        cache_blocks=0 if args.no_cache else args.cache_blocks,
+        batch_window=0.0 if args.no_batch else args.batch_window,
+    )
+    result = run.final
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"served {len(result.statuses)} sessions over "
+            f"{len(run.rope_ids)} strands: {result.admitted} admitted, "
+            f"{result.continuous_sessions} continuous, "
+            f"{len(result.rejects)} rejected"
+        )
+        print(
+            f"  {result.batches} batches, {result.rounds} rounds at "
+            f"k={result.k_used}, cache {result.cache_stats or 'off'}"
+        )
+    return 0 if result.total_misses == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -258,7 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="record and play a demo clip")
     demo.add_argument("--profile", default="testbed-1991")
     demo.add_argument("--seconds", type=float, default=10.0)
-    demo.add_argument("--seed", type=int, default=2026)
+    _add_common_options(
+        demo, seed_default=2026, seed_help="talk-spurt generator seed",
+        json_help="print the demo outcome as JSON",
+    )
     demo.set_defaults(handler=_cmd_demo)
 
     obs_report = commands.add_parser(
@@ -270,17 +378,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the fault-injection scenario instead of steady state",
     )
     obs_report.add_argument(
-        "--json", action="store_true",
-        help="print the raw snapshot JSON instead of the report",
-    )
-    obs_report.add_argument(
         "--profile-timers", action="store_true",
         help="include wall-clock timer data (not byte-stable) in --json",
     )
     obs_report.add_argument("--seconds", type=float, default=4.0)
-    obs_report.add_argument(
-        "--seed", type=int, default=20260806,
-        help="fault-plan seed (with --faults)",
+    _add_common_options(
+        obs_report, seed_help="fault-plan seed (with --faults)",
+        json_help="print the raw snapshot JSON instead of the report",
     )
     obs_report.add_argument(
         "--head-failure-at-op", type=int, default=None,
@@ -306,8 +410,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="display buffers per stream (default: 8)",
     )
     perf_sweep.add_argument(
-        "--seeds", type=int, nargs="+", default=[0],
-        help="placement seeds to sweep (default: 0)",
+        "--seeds", type=int, nargs="+", default=None,
+        help="placement seeds to sweep (default: the --seed value)",
     )
     perf_sweep.add_argument(
         "--drives", nargs="+", default=["testbed"],
@@ -323,11 +427,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes (default: min(scenarios, cpu count))",
     )
-    perf_sweep.add_argument(
-        "--json", action="store_true",
-        help="print the sweep report as JSON",
+    _add_common_options(
+        perf_sweep, seed_default=0,
+        seed_help="placement seed (when --seeds is not given)",
+        json_help="print the sweep report as JSON",
     )
     perf_sweep.set_defaults(handler=_cmd_perf_sweep)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a multi-tenant MediaServer scenario",
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=50,
+        help="concurrent open requests in the hot wave (default: 50)",
+    )
+    serve.add_argument(
+        "--strands", type=int, default=5,
+        help="distinct hot ropes the sessions share (default: 5)",
+    )
+    serve.add_argument(
+        "--seconds", type=float, default=2.0,
+        help="length of each recorded strand (default: 2.0)",
+    )
+    serve.add_argument(
+        "--cache-blocks", type=int, default=512,
+        help="block-cache capacity (default: 512)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.25,
+        help="admission batching window, seconds (default: 0.25)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the block cache (implies per-request reads)",
+    )
+    serve.add_argument(
+        "--no-batch", action="store_true",
+        help="disable batched admission (every request its own batch)",
+    )
+    serve.add_argument(
+        "--compare", action="store_true",
+        help="run batched+cached vs per-request and print both",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="run a small fixed scenario and emit its obs snapshot",
+    )
+    _add_common_options(
+        serve, seed_help="arrival-jitter seed",
+        json_help="print the serve result as JSON",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -17,6 +17,7 @@ from repro.disk.allocation import (
     RandomAllocator,
     ScatterBounds,
 )
+from repro.disk.cache import BlockCache, CachedDrive, CacheStats
 from repro.disk.drive import DriveStats, SimulatedDrive
 from repro.disk.factory import (
     FAST_DRIVE,
@@ -40,7 +41,10 @@ from repro.disk.seek import (
 
 __all__ = [
     "Allocator",
+    "BlockCache",
     "CHS",
+    "CacheStats",
+    "CachedDrive",
     "ConstrainedScatterAllocator",
     "ContiguousAllocator",
     "DiskGeometry",

@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.disk.drive import SimulatedDrive
 from repro.errors import (
     HeadFailureError,
     MediaDefectError,
@@ -76,7 +75,7 @@ class RecoveryPolicy:
 
 
 def read_with_recovery(
-    drive: SimulatedDrive,
+    drive,
     slot: int,
     bits: Optional[float],
     policy: RecoveryPolicy,
@@ -87,6 +86,13 @@ def read_with_recovery(
     obs=None,
 ) -> Tuple[float, bool]:
     """Read *slot*, recovering from injected faults per *policy*.
+
+    *drive* is anything drive-shaped: a
+    :class:`~repro.disk.drive.SimulatedDrive` or a wrapper exposing the
+    same ``read_slot``/``stats`` surface (e.g.
+    :class:`~repro.disk.cache.CachedDrive`, whose cache never retains a
+    faulted block — the exceptions handled here propagate through it
+    before insertion).
 
     Returns ``(elapsed, delivered)``: the simulated time consumed
     (successful read, failed attempts, and backoff alike) and whether

@@ -232,6 +232,32 @@ class MultimediaStorageManager:
             f"(cumulative heads lost: {self.degraded_heads})",
         )
 
+    # -- admission descriptors ---------------------------------------------------
+
+    def descriptor_for_media(
+        self, includes_video: bool
+    ) -> admission.RequestDescriptor:
+        """Admission descriptor for a request's dominant medium.
+
+        Video dominates whenever selected (it is "the most demanding
+        medium" per §3); audio-only requests use the audio policy.  The
+        MSM owns this derivation because the policies and disk
+        parameters live here — the MRS and the media server both ask
+        for descriptors through this one method.
+        """
+        if includes_video:
+            policy = self.policies.video
+            block = video_block_model(self.video, policy.granularity)
+        else:
+            policy = self.policies.audio
+            block = audio_block_model(self.audio, policy.granularity)
+        scattering = min(
+            self.disk_params.seek_avg, policy.scattering_upper
+        )
+        return admission.RequestDescriptor(
+            block=block, scattering_avg=scattering
+        )
+
     # -- policy derivation -----------------------------------------------------
 
     def _derive_policies(self) -> MediaPolicies:

@@ -38,6 +38,7 @@ __all__ = [
     "SEEK_TIME_BUCKETS",
     "ROUND_UTILIZATION_BUCKETS",
     "QUEUE_DEPTH_BUCKETS",
+    "BATCH_SIZE_BUCKETS",
 ]
 
 #: Deadline slack (deadline − arrival), seconds: negative is a miss.
@@ -55,6 +56,10 @@ ROUND_UTILIZATION_BUCKETS: Tuple[float, ...] = (
 #: Concurrently serviced streams per round.
 QUEUE_DEPTH_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+)
+#: Sessions admitted together per admission batch (1 = unbatched).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
 )
 
 

@@ -19,13 +19,19 @@ from repro.perf.scenarios import (
     ScaleScenario,
     run_scale_scenario,
 )
+from repro.perf.server_scenarios import (
+    ServerCompareResult,
+    run_server_compare_scenario,
+)
 from repro.perf.sweep import SweepReport, run_sweep, scale_grid
 
 __all__ = [
     "DRIVE_CONFIGS",
     "ScaleScenario",
     "ScaleResult",
+    "ServerCompareResult",
     "run_scale_scenario",
+    "run_server_compare_scenario",
     "SweepReport",
     "run_sweep",
     "scale_grid",

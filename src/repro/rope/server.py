@@ -27,7 +27,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.admission import RequestDescriptor
-from repro.core.symbols import BlockModel
 from repro.errors import (
     IntervalError,
     ParameterError,
@@ -178,27 +177,11 @@ class MultimediaRopeServer:
     def _descriptor_for(self, media: Media) -> RequestDescriptor:
         """Admission descriptor for a request's dominant medium.
 
-        Video dominates whenever selected (it is "the most demanding
-        medium" per §3); audio-only requests use the audio policy.
+        Delegates to :meth:`MultimediaStorageManager.descriptor_for_media`
+        — the MSM owns the policies and disk parameters the descriptor is
+        derived from.
         """
-        if media.includes_video:
-            policy = self.msm.policies.video
-            block = BlockModel(
-                unit_rate=self.msm.video.frame_rate,
-                unit_size=self.msm.video.frame_size,
-                granularity=policy.granularity,
-            )
-        else:
-            policy = self.msm.policies.audio
-            block = BlockModel(
-                unit_rate=self.msm.audio.sample_rate,
-                unit_size=self.msm.audio.sample_size,
-                granularity=policy.granularity,
-            )
-        scattering = min(
-            self.msm.disk_params.seek_avg, policy.scattering_upper
-        )
-        return RequestDescriptor(block=block, scattering_avg=scattering)
+        return self.msm.descriptor_for_media(media.includes_video)
 
     def _admit(self, media: Media) -> int:
         decision = self.msm.admission.admit(self._descriptor_for(media))
@@ -355,6 +338,46 @@ class MultimediaRopeServer:
                 f"{rope.duration:.3f})"
             )
         admission_id = self._admit(media)
+        request = Request(
+            request_id=f"Q{next(self._request_ids):04d}",
+            kind=RequestKind.PLAY,
+            rope_id=rope_id,
+            user=user,
+            media=media,
+            start=start,
+            length=length,
+            admission_id=admission_id,
+        )
+        self._requests[request.request_id] = request
+        return request.request_id
+
+    def open_request(
+        self,
+        user: str,
+        rope_id: str,
+        start: float = 0.0,
+        length: Optional[float] = None,
+        media: Media = Media.AUDIO_VISUAL,
+        admission_id: Optional[int] = None,
+    ) -> str:
+        """Create a PLAY request whose admission is managed externally.
+
+        The media server admits batches, not individual requests: one
+        leader per batch holds an admission slot (passed here as
+        ``admission_id``) while its followers share the leader's reads
+        and carry no slot of their own.  Access and interval checks are
+        identical to :meth:`play`; STOP and destructive PAUSE already
+        tolerate ``admission_id=None`` (nothing to release).
+        """
+        rope = self.get_rope(rope_id)
+        rope.check_play(user)
+        if length is None:
+            length = rope.duration - start
+        if length <= 0:
+            raise IntervalError(
+                f"empty playback interval (start {start}, rope length "
+                f"{rope.duration:.3f})"
+            )
         request = Request(
             request_id=f"Q{next(self._request_ids):04d}",
             kind=RequestKind.PLAY,

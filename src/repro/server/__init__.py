@@ -1,0 +1,38 @@
+"""The multi-tenant media-server front end.
+
+:class:`MediaServer` owns the storage-manager + rope-server + service
+stack and serves client request queues end to end: session lifecycle
+(open → play/pause/resume → stop) over simulated time, batched admission
+with shared reads (:mod:`repro.server.batching`), a bounded LRU block
+cache between the service loop and the drive
+(:mod:`repro.disk.cache`), and graceful overload with typed reject
+reasons.  Clients speak only the :mod:`repro.api` message types.
+
+:mod:`repro.server.scenarios` holds the canonical seed-deterministic
+workloads behind ``repro serve``, the golden-trace regressions, and the
+batched-vs-per-request benchmark comparison.
+"""
+
+from repro.server.batching import BatchKey, RequestBatch, group_into_batches
+from repro.server.media_server import MediaServer
+from repro.server.scenarios import (
+    ServerScenarioRun,
+    build_media_server,
+    run_serve_compare,
+    run_server_fault_scenario,
+    run_server_hot_scenario,
+    run_server_steady_scenario,
+)
+
+__all__ = [
+    "BatchKey",
+    "MediaServer",
+    "RequestBatch",
+    "ServerScenarioRun",
+    "build_media_server",
+    "group_into_batches",
+    "run_serve_compare",
+    "run_server_fault_scenario",
+    "run_server_hot_scenario",
+    "run_server_steady_scenario",
+]

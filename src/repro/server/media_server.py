@@ -1,0 +1,729 @@
+"""The MediaServer: the file system's front door.
+
+Everything below this module already existed — the storage manager, the
+rope server, the admission controller, the round-robin service — but
+callers had to hand-wire them.  :class:`MediaServer` owns the whole
+stack and serves typed :mod:`repro.api` requests end to end:
+
+* a simulated-time request queue with the §4.1 session lifecycle
+  (open → play / pause / resume → stop) and arrival patterns supplied
+  by the caller (e.g. from :mod:`repro.workload`);
+* **batched admission**: near-simultaneous opens of the same rope
+  interval are grouped (:mod:`repro.server.batching`); only the batch
+  leader is admitted against the §3.4 inequality and reads the disk,
+  while followers ride the block cache — so fifty viewers of five hot
+  strands cost five admission slots, not fifty;
+* a bounded LRU **block cache** (:mod:`repro.disk.cache`) between the
+  service loop and the drive, with cache-aware admission: a session
+  whose entire plan is resident is admitted without consuming any
+  disk-round budget, its blocks pinned until it completes;
+* **graceful overload**: refusals come back as typed
+  :class:`~repro.api.RejectReason` values on the response, with an
+  optional bounded re-queue, never as exceptions.
+
+Every admission call the server makes crosses the MRS↔MSM boundary
+through an :class:`~repro.service.rpc.RpcChannel`, so batch admissions
+are logged with marshalled sizes exactly like the prototype's RPCs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api import (
+    OpenSessionRequest,
+    OpenSessionResponse,
+    PauseRequest,
+    PlayRequest,
+    RejectReason,
+    ResumeRequest,
+    ServeResult,
+    SessionState,
+    SessionStatus,
+    StopRequest,
+)
+from repro.core.continuity import Architecture
+from repro.disk.cache import BlockCache, CachedDrive
+from repro.errors import (
+    AccessDenied,
+    AdmissionRejected,
+    IntervalError,
+    ParameterError,
+    UnknownRopeError,
+)
+from repro.faults.recovery import RecoveryPolicy
+from repro.obs.registry import BATCH_SIZE_BUCKETS
+from repro.rope.server import MultimediaRopeServer, RequestState
+from repro.server.batching import RequestBatch, group_into_batches
+from repro.service.rpc import RpcChannel, stub_for
+from repro.service.session import PlaybackSession
+from repro.sim.trace import Tracer
+
+__all__ = ["MediaServer"]
+
+
+@dataclass
+class _Session:
+    """Server-side state of one client session."""
+
+    session_id: str
+    client_id: str
+    rope_id: str
+    request_id: Optional[str]
+    state: SessionState
+    arrival: float
+    batch_leader: Optional[str] = None
+    cache_admitted: bool = False
+    admission_id: Optional[int] = None
+    pinned: Tuple[int, ...] = ()
+    requeues: int = 0
+    blocks_delivered: int = 0
+    misses: int = 0
+    skips: int = 0
+    startup_latency: float = 0.0
+    reject: Optional[RejectReason] = None
+    media: object = None
+    followers: List[str] = field(default_factory=list)
+
+    def status(self) -> SessionStatus:
+        return SessionStatus(
+            session_id=self.session_id,
+            client_id=self.client_id,
+            rope_id=self.rope_id,
+            state=self.state,
+            blocks_delivered=self.blocks_delivered,
+            misses=self.misses,
+            skips=self.skips,
+            startup_latency=self.startup_latency,
+            batch_leader=self.batch_leader,
+            cache_admitted=self.cache_admitted,
+            request_id=self.request_id,
+        )
+
+
+class MediaServer:
+    """Multi-tenant front end over one rope server.
+
+    Parameters
+    ----------
+    mrs:
+        The rope server (and, through it, the storage manager, drive,
+        and admission controller) this front end owns.
+    architecture:
+        Buffering architecture forwarded to the playback sessions.
+    batch_window:
+        Seconds within which opens of the same rope interval join one
+        admission batch.  0 disables batching.
+    cache_blocks:
+        Block-cache capacity in slots; 0 disables the cache.  Batching
+        *requires* the cache (shared reads are realized through it), so
+        with the cache disabled every request is admitted individually
+        regardless of ``batch_window``.
+    cache_hit_time:
+        Simulated seconds a cache hit costs (default 0.0 — no
+        disk-round budget).
+    requeue_limit:
+        How many times an admission-rejected open is re-queued to the
+        back of the admission queue before the refusal is final.
+    recovery:
+        Fault-recovery policy for the service loop.
+    obs:
+        Observability handle; defaults to the storage manager's.
+    """
+
+    def __init__(
+        self,
+        mrs: MultimediaRopeServer,
+        architecture: Architecture = Architecture.PIPELINED,
+        batch_window: float = 0.25,
+        cache_blocks: int = 128,
+        cache_hit_time: float = 0.0,
+        requeue_limit: int = 0,
+        recovery: Optional[RecoveryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        obs=None,
+    ):
+        if batch_window < 0:
+            raise ParameterError(
+                f"batch_window must be >= 0, got {batch_window}"
+            )
+        if cache_blocks < 0:
+            raise ParameterError(
+                f"cache_blocks must be >= 0, got {cache_blocks}"
+            )
+        if requeue_limit < 0:
+            raise ParameterError(
+                f"requeue_limit must be >= 0, got {requeue_limit}"
+            )
+        self.mrs = mrs
+        self.architecture = architecture
+        self.batch_window = batch_window
+        self.requeue_limit = requeue_limit
+        self.recovery = recovery
+        self.tracer = tracer
+        self.obs = obs if obs is not None else mrs.msm.obs
+        self.channel = RpcChannel("mrs-msm")
+        #: Admission calls cross the MRS↔MSM boundary through this stub,
+        #: so every batch admission is logged with marshalled sizes.
+        self._admission = stub_for(mrs.msm.admission, self.channel)
+        if cache_blocks:
+            self.cache: Optional[BlockCache] = BlockCache(cache_blocks)
+            self._drive = CachedDrive(
+                mrs.msm.drive, self.cache,
+                hit_time=cache_hit_time, obs=self.obs,
+            )
+        else:
+            self.cache = None
+            self._drive = mrs.msm.drive
+        #: Shared reads need the cache to exist; without it, batching
+        #: would hand followers full-cost reads with no admission slot.
+        self.batching = self.batch_window > 0 and self.cache is not None
+        self._sessions: Dict[str, _Session] = {}
+        self._session_ids = itertools.count(1)
+        self._epoch_queue: List[str] = []
+        self._batches_formed = 0
+        if self.obs is not None:
+            registry = self.obs.registry
+            self._obs_opened = registry.counter("server.sessions_opened")
+            self._obs_rejected = registry.counter("server.sessions_rejected")
+            self._obs_batches = registry.counter("server.batches")
+            self._obs_batch_size = registry.histogram(
+                "server.batch_size", BATCH_SIZE_BUCKETS
+            )
+        else:
+            self._obs_opened = None
+
+    # -- public API: lifecycle verbs --------------------------------------------
+
+    def open(self, request: OpenSessionRequest) -> OpenSessionResponse:
+        """Admit one session immediately (an unbatched open)."""
+        responses = self._admit_batch(
+            group_into_batches([request], window=0.0)[0],
+            allow_requeue=False,
+        )
+        return responses[0]
+
+    def play(self, request: PlayRequest) -> SessionStatus:
+        """Schedule an OPEN session into the next service epoch."""
+        session = self._session(request.session_id)
+        if session.state is not SessionState.OPEN:
+            raise ParameterError(
+                f"cannot play session {session.session_id} in state "
+                f"{session.state.value}"
+            )
+        session.state = SessionState.PLAYING
+        self._epoch_queue.append(session.session_id)
+        return session.status()
+
+    def pause(self, request: PauseRequest) -> SessionStatus:
+        """PAUSE a session; destructive pauses release its resources."""
+        session = self._session(request.session_id)
+        if session.state not in (SessionState.OPEN, SessionState.PLAYING):
+            raise ParameterError(
+                f"cannot pause session {session.session_id} in state "
+                f"{session.state.value}"
+            )
+        self._dequeue(session)
+        if request.destructive:
+            self._release_resources(session)
+        session.state = SessionState.PAUSED
+        return session.status()
+
+    def resume(self, request: ResumeRequest) -> SessionStatus:
+        """RESUME a paused session; released resources are re-admitted."""
+        session = self._session(request.session_id)
+        if session.state is not SessionState.PAUSED:
+            raise ParameterError(
+                f"cannot resume session {session.session_id} in state "
+                f"{session.state.value}"
+            )
+        if (
+            session.admission_id is None
+            and not session.cache_admitted
+            and session.batch_leader == session.session_id
+        ):
+            # Destructive pause released the slot: re-run admission.
+            descriptor = self.mrs.msm.descriptor_for_media(
+                session.media.includes_video
+            )
+            try:
+                decision = self._admission.admit(descriptor)
+            except AdmissionRejected as rejected:
+                session.state = SessionState.REJECTED
+                session.reject = self._classify(rejected)
+                return session.status()
+            session.admission_id = decision.request_id
+        session.state = SessionState.PLAYING
+        self._epoch_queue.append(session.session_id)
+        return session.status()
+
+    def stop(self, request: StopRequest) -> SessionStatus:
+        """STOP a session and release every resource it holds."""
+        session = self._session(request.session_id)
+        if session.state in (SessionState.STOPPED, SessionState.REJECTED):
+            return session.status()
+        self._dequeue(session)
+        self._release_resources(session)
+        self._finalize_request(session)
+        session.state = SessionState.STOPPED
+        return session.status()
+
+    def status(self, session_id: str) -> SessionStatus:
+        """One session's current status."""
+        return self._session(session_id).status()
+
+    def sessions(self) -> List[SessionStatus]:
+        """Every known session's status, in session-ID order."""
+        return [
+            self._sessions[sid].status() for sid in sorted(self._sessions)
+        ]
+
+    # -- public API: batched serve -----------------------------------------------
+
+    def serve(self, requests: Sequence, max_rounds: int = 100_000) -> ServeResult:
+        """Process a queue of typed requests and run one service epoch.
+
+        Opens are grouped into admission batches; lifecycle verbs
+        (addressed to sessions from this or earlier calls) are applied
+        in arrival order after admission; then every session scheduled
+        for playback is serviced to completion in one round-robin epoch.
+        """
+        opens: List[OpenSessionRequest] = []
+        lifecycle: List[Tuple[float, int, object]] = []
+        for index, request in enumerate(requests):
+            if isinstance(request, OpenSessionRequest):
+                opens.append(request)
+            elif isinstance(
+                request,
+                (PlayRequest, PauseRequest, ResumeRequest, StopRequest),
+            ):
+                lifecycle.append((request.arrival, index, request))
+            else:
+                raise ParameterError(
+                    f"serve() got {type(request).__name__}; expected a "
+                    "repro.api request type"
+                )
+        touched: List[str] = []
+        rejects: List[OpenSessionResponse] = []
+        batches = group_into_batches(
+            opens, self.batch_window, enabled=self.batching
+        )
+        queue: List[Tuple[RequestBatch, int]] = [(b, 0) for b in batches]
+        position = 0
+        while position < len(queue):
+            batch, requeues = queue[position]
+            position += 1
+            responses = self._admit_batch(batch, requeues=requeues)
+            if responses is None:
+                # Rejected with re-queue budget left: back of the queue.
+                queue.append((batch, requeues + 1))
+                continue
+            for response in responses:
+                if response.session_id is not None:
+                    touched.append(response.session_id)
+                if not response.accepted:
+                    rejects.append(response)
+        dispatch = {
+            PlayRequest: self.play,
+            PauseRequest: self.pause,
+            ResumeRequest: self.resume,
+            StopRequest: self.stop,
+        }
+        for _arrival, _index, request in sorted(
+            lifecycle, key=lambda item: (item[0], item[1])
+        ):
+            status = dispatch[type(request)](request)
+            touched.append(status.session_id)
+            if status.state is SessionState.REJECTED:
+                rejects.append(
+                    OpenSessionResponse(
+                        session_id=status.session_id,
+                        accepted=False,
+                        reject=self._sessions[status.session_id].reject,
+                        detail="re-admission on resume failed",
+                    )
+                )
+        epoch = self._run_epoch(max_rounds)
+        touched.extend(epoch["played"])
+        seen = set()
+        ordered = [
+            sid for sid in sorted(touched)
+            if not (sid in seen or seen.add(sid))
+        ]
+        return ServeResult(
+            statuses=tuple(
+                self._sessions[sid].status() for sid in ordered
+            ),
+            rejects=tuple(rejects),
+            rounds=epoch["rounds"],
+            k_used=epoch["k_used"],
+            batches=self._count_batches(batches),
+            cache_stats=(
+                self.cache.stats.as_dict() if self.cache is not None else {}
+            ),
+            block_sequences=epoch["block_sequences"],
+        )
+
+    # -- admission ---------------------------------------------------------------
+
+    def _admit_batch(
+        self,
+        batch: RequestBatch,
+        requeues: int = 0,
+        allow_requeue: bool = True,
+    ) -> Optional[List[OpenSessionResponse]]:
+        """Admit one batch; None means "re-queue and try again later"."""
+        leader_req = batch.leader
+        try:
+            rope = self.mrs.get_rope(leader_req.rope_id)
+        except UnknownRopeError:
+            return self._reject_batch(
+                batch, RejectReason.UNKNOWN_ROPE, requeues,
+                f"no rope {leader_req.rope_id!r}",
+            )
+        denied: List[OpenSessionResponse] = []
+        allowed: List[OpenSessionRequest] = []
+        for member in batch.requests:
+            try:
+                rope.check_play(member.client_id)
+            except AccessDenied as error:
+                denied.append(
+                    self._rejection(
+                        member, RejectReason.ACCESS_DENIED, requeues,
+                        str(error),
+                    )
+                )
+            else:
+                allowed.append(member)
+        if not allowed:
+            return denied
+        leader_req = allowed[0]
+        try:
+            leader_rid = self.mrs.open_request(
+                leader_req.client_id,
+                leader_req.rope_id,
+                start=leader_req.start,
+                length=leader_req.length,
+                media=leader_req.media,
+            )
+        except IntervalError as error:
+            return denied + [
+                self._rejection(
+                    member, RejectReason.EMPTY_INTERVAL, requeues, str(error)
+                )
+                for member in allowed
+            ]
+        playback = self._playback_session()
+        slots = tuple(
+            f.slot
+            for f in playback.fetch_sequence(leader_rid)
+            if f.slot is not None
+        )
+        cache_admitted = False
+        admission_id: Optional[int] = None
+        if (
+            self.cache is not None
+            and self.cache.resident_fraction(slots) >= 1.0
+            and self.cache.pin(set(slots))
+        ):
+            # Every block is already resident: the session consumes no
+            # disk-round budget, so it bypasses the §3.4 controller.
+            cache_admitted = True
+            self._audit_cache_admit(batch, slots)
+        else:
+            descriptor = self.mrs.msm.descriptor_for_media(
+                leader_req.media.includes_video
+            )
+            try:
+                decision = self._admission.admit(descriptor)
+            except AdmissionRejected as rejected:
+                self.mrs.stop(leader_rid)
+                if allow_requeue and requeues < self.requeue_limit:
+                    return None
+                reason = (
+                    RejectReason.QUEUE_FULL
+                    if requeues
+                    else self._classify(rejected)
+                )
+                return denied + [
+                    self._rejection(member, reason, requeues, str(rejected))
+                    for member in allowed
+                ]
+            admission_id = decision.request_id
+            request = self.mrs.get_request(leader_rid)
+            request.admission_id = admission_id
+        leader = self._create_session(
+            leader_req, leader_rid, batch.admit_time, requeues
+        )
+        leader.batch_leader = leader.session_id
+        leader.cache_admitted = cache_admitted
+        leader.admission_id = admission_id
+        leader.pinned = tuple(sorted(set(slots))) if cache_admitted else ()
+        members = [leader]
+        for follower_req in allowed[1:]:
+            follower_rid = self.mrs.open_request(
+                follower_req.client_id,
+                follower_req.rope_id,
+                start=follower_req.start,
+                length=follower_req.length,
+                media=follower_req.media,
+            )
+            follower = self._create_session(
+                follower_req, follower_rid, batch.admit_time, requeues
+            )
+            follower.batch_leader = leader.session_id
+            follower.cache_admitted = cache_admitted
+            members.append(follower)
+            leader.followers.append(follower.session_id)
+        self._batches_formed += 1
+        self._audit_batch(batch, leader, cache_admitted, requeues)
+        if self._obs_opened is not None:
+            self._obs_opened.inc(len(members))
+            self._obs_batches.inc()
+            self._obs_batch_size.observe(len(members))
+        responses = list(denied)
+        for member, request in zip(members, allowed):
+            if request.auto_play:
+                member.state = SessionState.PLAYING
+                self._epoch_queue.append(member.session_id)
+            responses.append(
+                OpenSessionResponse(
+                    session_id=member.session_id,
+                    accepted=True,
+                    batch_leader=leader.session_id,
+                    cache_admitted=cache_admitted,
+                    requeues=requeues,
+                    detail=f"request {member.request_id}",
+                )
+            )
+        return responses
+
+    def _create_session(
+        self,
+        request: OpenSessionRequest,
+        request_id: str,
+        admit_time: float,
+        requeues: int,
+    ) -> _Session:
+        session = _Session(
+            session_id=f"C{next(self._session_ids):04d}",
+            client_id=request.client_id,
+            rope_id=request.rope_id,
+            request_id=request_id,
+            state=SessionState.OPEN,
+            arrival=admit_time,
+            requeues=requeues,
+            media=request.media,
+        )
+        self._sessions[session.session_id] = session
+        return session
+
+    def _rejection(
+        self,
+        request: OpenSessionRequest,
+        reason: RejectReason,
+        requeues: int,
+        detail: str,
+    ) -> OpenSessionResponse:
+        session = _Session(
+            session_id=f"C{next(self._session_ids):04d}",
+            client_id=request.client_id,
+            rope_id=request.rope_id,
+            request_id=None,
+            state=SessionState.REJECTED,
+            arrival=request.arrival,
+            requeues=requeues,
+            media=request.media,
+            reject=reason,
+        )
+        self._sessions[session.session_id] = session
+        if self._obs_opened is not None:
+            self._obs_rejected.inc()
+        return OpenSessionResponse(
+            session_id=session.session_id,
+            accepted=False,
+            reject=reason,
+            requeues=requeues,
+            detail=detail,
+        )
+
+    def _reject_batch(
+        self,
+        batch: RequestBatch,
+        reason: RejectReason,
+        requeues: int,
+        detail: str,
+    ) -> List[OpenSessionResponse]:
+        return [
+            self._rejection(member, reason, requeues, detail)
+            for member in batch.requests
+        ]
+
+    @staticmethod
+    def _classify(rejected: AdmissionRejected) -> RejectReason:
+        """Map a controller refusal to its typed reason."""
+        if "operating bound" in str(rejected):
+            return RejectReason.K_BOUND
+        return RejectReason.CAPACITY
+
+    def _audit_batch(
+        self,
+        batch: RequestBatch,
+        leader: _Session,
+        cache_admitted: bool,
+        requeues: int,
+    ) -> None:
+        """Log the batch verdict: one physical stream serves the batch."""
+        if self.obs is None:
+            return
+        self.obs.audit.record(
+            "admit",
+            f"batch(rope={batch.key.rope_id},n={batch.size})",
+            "physical_streams <= batch_size",
+            {
+                "batch_size": float(batch.size),
+                "physical_streams": 1.0,
+                "cache_admitted": float(cache_admitted),
+                "requeues": float(requeues),
+            },
+            satisfied=True,
+            detail=(
+                f"leader {leader.session_id} "
+                f"({'cache' if cache_admitted else 'controller'}-admitted), "
+                f"{batch.size - 1} follower(s) share its reads"
+            ),
+        )
+
+    def _audit_cache_admit(
+        self, batch: RequestBatch, slots: Tuple[int, ...]
+    ) -> None:
+        """Log a cache admission: residency stands in for disk budget."""
+        if self.obs is None:
+            return
+        planned = len(set(slots))
+        self.obs.audit.record(
+            "admit",
+            f"cache(rope={batch.key.rope_id})",
+            "resident >= planned",
+            {"resident": float(planned), "planned": float(planned)},
+            satisfied=True,
+            detail=f"{planned} slot(s) resident and pinned; "
+            "no disk-round budget consumed",
+        )
+
+    # -- epoch execution -----------------------------------------------------------
+
+    def _playback_session(self) -> PlaybackSession:
+        return PlaybackSession(
+            self.mrs,
+            architecture=self.architecture,
+            tracer=self.tracer,
+            recovery=self.recovery,
+            obs=self.obs,
+        )
+
+    def _round_period(self, k: int) -> float:
+        """Rough simulated seconds per service round at blocks-per-round *k*."""
+        descriptor = self.mrs.msm.descriptor_for_media(True)
+        return max(k, 1) * descriptor.block_playback
+
+    def _run_epoch(self, max_rounds: int) -> Dict:
+        """Service every scheduled session to completion."""
+        queue = [
+            sid for sid in self._epoch_queue
+            if self._sessions[sid].state is SessionState.PLAYING
+        ]
+        self._epoch_queue = []
+        if not queue:
+            return {
+                "played": [], "rounds": 0, "k_used": 0,
+                "block_sequences": {},
+            }
+        playback = self._playback_session()
+        k = max(1, self.mrs.msm.admission.current_k)
+        period = self._round_period(k)
+        t0 = min(self._sessions[sid].arrival for sid in queue)
+        initial: List[str] = []
+        later: List[Tuple[int, str]] = []
+        sequences: Dict[str, Tuple[Optional[int], ...]] = {}
+        for sid in queue:
+            session = self._sessions[sid]
+            sequences[sid] = tuple(
+                f.slot for f in playback.fetch_sequence(session.request_id)
+            )
+            round_number = int((session.arrival - t0) / period)
+            if round_number <= 0:
+                initial.append(session.request_id)
+            else:
+                later.append((round_number, session.request_id))
+        # The leader of each batch precedes its followers in queue order,
+        # so within a round the leader's miss populates the cache and
+        # every follower's identical read hits it.
+        original_drive = self.mrs.msm.drive
+        self.mrs.msm.drive = self._drive
+        try:
+            result = playback.run(
+                initial, k=k, admissions=later,
+            )
+        finally:
+            self.mrs.msm.drive = original_drive
+        for sid in queue:
+            session = self._sessions[sid]
+            metrics = result.metrics[session.request_id]
+            session.blocks_delivered = metrics.blocks_delivered
+            session.misses = metrics.misses
+            session.skips = metrics.skips
+            session.startup_latency = metrics.startup_latency
+            session.state = SessionState.COMPLETED
+            self._release_resources(session)
+            self._finalize_request(session)
+        return {
+            "played": queue,
+            "rounds": result.rounds,
+            "k_used": result.k_used,
+            "block_sequences": sequences,
+        }
+
+    # -- resource management ---------------------------------------------------------
+
+    def _session(self, session_id: str) -> _Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ParameterError(
+                f"unknown session {session_id!r}"
+            ) from None
+
+    def _dequeue(self, session: _Session) -> None:
+        self._epoch_queue = [
+            sid for sid in self._epoch_queue if sid != session.session_id
+        ]
+
+    def _release_resources(self, session: _Session) -> None:
+        """Release the admission slot and cache pins a session holds.
+
+        Releases cross the MRS↔MSM boundary through the RPC channel like
+        admissions do; the MRS request is then stopped with nothing left
+        to release.
+        """
+        if session.admission_id is not None:
+            self._admission.release(session.admission_id)
+            session.admission_id = None
+            if session.request_id is not None:
+                self.mrs.get_request(session.request_id).admission_id = None
+        if session.pinned and self.cache is not None:
+            self.cache.unpin(session.pinned)
+            session.pinned = ()
+
+    def _finalize_request(self, session: _Session) -> None:
+        """Mark the session's MRS request STOPPED (terminal states only)."""
+        if session.request_id is None:
+            return
+        request = self.mrs.get_request(session.request_id)
+        if request.state is not RequestState.STOPPED:
+            self.mrs.stop(session.request_id)
+
+    def _count_batches(self, batches: Sequence[RequestBatch]) -> int:
+        return len(batches)

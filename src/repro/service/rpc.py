@@ -13,6 +13,8 @@ different hardware") stays checkable.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
 from dataclasses import dataclass
 from typing import Any, Dict, List
 
@@ -49,6 +51,18 @@ def _estimate_bytes(value: Any) -> int:
     if isinstance(value, dict):
         return 8 + sum(
             _estimate_bytes(k) + _estimate_bytes(v) for k, v in value.items()
+        )
+    if isinstance(value, enum.Enum):
+        # An enum marshals as its value (the API types use string values).
+        return _estimate_bytes(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Typed request/response messages (repro.api and friends): a
+        # small envelope plus every field, recursively — so nested
+        # dataclasses and collections are sized instead of falling into
+        # the scalar-attributes guess below.
+        return 16 + sum(
+            _estimate_bytes(getattr(value, f.name))
+            for f in dataclasses.fields(value)
         )
     # Arbitrary objects: count their public scalar attributes.
     total = 16

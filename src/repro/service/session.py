@@ -132,17 +132,30 @@ class PlaybackSession:
             heads_lost=1
         )
 
+    @staticmethod
+    def _request_id_of(request) -> str:
+        """Accept both raw request-ID strings and typed API requests."""
+        return getattr(request, "session_id", request)
+
     def _stream_for(
         self, request_id: str, k: int
     ) -> StreamState:
-        plan = self.server.playback_plan(request_id)
-        fetches = self._interleave(plan)
+        fetches = self.fetch_sequence(request_id)
         capacity = buffers_for_average_continuity(self.architecture, k)
         return StreamState(
             request_id=request_id,
             fetches=fetches,
             buffer_capacity=max(capacity, 2),
         )
+
+    def fetch_sequence(self, request_id: str) -> List:
+        """The interleaved disk-fetch sequence one request will follow.
+
+        This is exactly the order :meth:`run` delivers the request's
+        blocks in; the media server records it per session so the
+        cache-equivalence tests can compare delivered sequences.
+        """
+        return self._interleave(self.server.playback_plan(request_id))
 
     @staticmethod
     def _interleave(plan: PlaybackPlan) -> List:
@@ -173,7 +186,7 @@ class PlaybackSession:
 
     def run(
         self,
-        request_ids: Sequence[str],
+        request_ids: Sequence,
         k: Optional[int] = None,
         admissions: Sequence[Tuple[int, str]] = (),
         k_schedule: Optional[Callable[[int, int], int]] = None,
@@ -182,11 +195,16 @@ class PlaybackSession:
 
         Parameters
         ----------
+        request_ids:
+            Raw MRS request-ID strings, or typed
+            :class:`repro.api.PlayRequest` values (their ``session_id``
+            is the request ID).
         k:
             Blocks per request per round; defaults to the admission
             controller's current k.
         admissions:
-            ``(round_number, request_id)`` pairs joining mid-run.
+            ``(round_number, request_id)`` pairs joining mid-run; the
+            request may likewise be a :class:`~repro.api.PlayRequest`.
         k_schedule:
             Full override of the per-round k (wins over *k*).
         """
@@ -196,10 +214,15 @@ class PlaybackSession:
         if k_schedule is None:
             def k_schedule(round_number: int, active: int) -> int:
                 return k
-        initial = [self._stream_for(rid, k) for rid in request_ids]
+        initial = [
+            self._stream_for(self._request_id_of(r), k) for r in request_ids
+        ]
         later = [
-            Admission(round_number=round_number, stream=self._stream_for(rid, k))
-            for round_number, rid in admissions
+            Admission(
+                round_number=round_number,
+                stream=self._stream_for(self._request_id_of(r), k),
+            )
+            for round_number, r in admissions
         ]
         service = RoundRobinService(
             self.server.msm.drive,

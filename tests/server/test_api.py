@@ -1,0 +1,140 @@
+"""Unit tests for the typed public API surface (repro.api)."""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.api import (
+    Media,
+    OpenSessionRequest,
+    OpenSessionResponse,
+    RejectReason,
+    ServeResult,
+    SessionState,
+    SessionStatus,
+)
+
+pytestmark = pytest.mark.server
+
+
+def _status(session_id="C0001", **overrides):
+    defaults = dict(
+        session_id=session_id,
+        client_id="alice",
+        rope_id="R0001",
+        state=SessionState.COMPLETED,
+        blocks_delivered=10,
+        misses=0,
+        skips=0,
+        startup_latency=0.05,
+        request_id="Q0001",
+    )
+    defaults.update(overrides)
+    return SessionStatus(**defaults)
+
+
+class TestMessages:
+    def test_requests_are_frozen(self):
+        request = OpenSessionRequest(client_id="alice", rope_id="R0001")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.rope_id = "R0002"
+
+    def test_open_request_defaults(self):
+        request = OpenSessionRequest(client_id="alice", rope_id="R0001")
+        assert request.arrival == 0.0
+        assert request.start == 0.0
+        assert request.length is None
+        assert request.media is Media.VIDEO
+        assert request.auto_play
+
+    def test_response_carries_typed_reject(self):
+        response = OpenSessionResponse(
+            session_id=None, accepted=False,
+            reject=RejectReason.CAPACITY,
+        )
+        assert not response.accepted
+        assert response.reject is RejectReason.CAPACITY
+        assert response.cache_admitted is False
+
+
+class TestSessionStatus:
+    def test_continuous_iff_no_misses(self):
+        assert _status(misses=0).continuous
+        assert not _status(misses=1).continuous
+
+    def test_to_dict_key_set_is_stable(self):
+        payload = _status().to_dict()
+        assert set(payload) == {
+            "session_id", "client_id", "rope_id", "request_id", "state",
+            "blocks_delivered", "misses", "skips", "startup_latency",
+            "batch_leader", "cache_admitted", "continuous",
+        }
+        assert payload["state"] == "completed"
+
+
+class TestServeResult:
+    def _result(self):
+        statuses = (
+            _status("C0001"),
+            _status("C0002", misses=2),
+            _status("C0003", state=SessionState.REJECTED),
+        )
+        return ServeResult(
+            statuses=statuses,
+            rejects=(
+                OpenSessionResponse(
+                    session_id="C0003", accepted=False,
+                    reject=RejectReason.CAPACITY,
+                ),
+            ),
+            rounds=12,
+            k_used=2,
+            batches=2,
+        )
+
+    def test_admitted_excludes_rejected(self):
+        assert self._result().admitted == 2
+
+    def test_continuous_counts_glitch_free_completions(self):
+        assert self._result().continuous_sessions == 1
+
+    def test_total_misses_sums_sessions(self):
+        assert self._result().total_misses == 2
+
+    def test_status_of_lookup(self):
+        result = self._result()
+        assert result.status_of("C0002").misses == 2
+        with pytest.raises(KeyError):
+            result.status_of("C9999")
+
+    def test_to_dict_shape(self):
+        payload = self._result().to_dict()
+        assert payload["admitted"] == 2
+        assert payload["rejects"][0]["reject"] == "capacity"
+        assert len(payload["sessions"]) == 3
+
+
+class TestFacade:
+    def test_api_types_reexported_at_top_level(self):
+        assert repro.OpenSessionRequest is OpenSessionRequest
+        assert repro.MediaServer.__name__ == "MediaServer"
+        assert repro.api is not None
+        assert repro.server is not None
+
+    def test_deprecated_aliases_warn_but_resolve(self):
+        from repro.fs import MultimediaStorageManager
+        from repro.service import PlaybackSession
+        from repro.service.rpc import stub_for
+
+        for name, target in (
+            ("MultimediaStorageManager", MultimediaStorageManager),
+            ("PlaybackSession", PlaybackSession),
+            ("stub_for", stub_for),
+        ):
+            with pytest.warns(DeprecationWarning):
+                assert getattr(repro, name) is target
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_real_name

@@ -1,0 +1,251 @@
+"""End-to-end tests for the MediaServer front end."""
+
+import pytest
+
+from repro.api import (
+    Media,
+    OpenSessionRequest,
+    PauseRequest,
+    PlayRequest,
+    RejectReason,
+    ResumeRequest,
+    SessionState,
+    StopRequest,
+)
+from repro.errors import ParameterError
+from repro.obs import Observability
+from repro.server.scenarios import (
+    _record_strands,
+    build_media_server,
+    run_server_hot_scenario,
+    run_server_steady_scenario,
+)
+
+pytestmark = pytest.mark.server
+
+CLIENTS = [f"client-{i}" for i in range(8)] + ["warmer"]
+
+
+@pytest.fixture
+def server():
+    return build_media_server()
+
+
+def _rope(server, seconds=1.0, clients=CLIENTS):
+    return _record_strands(server.mrs, 1, seconds, clients, "t")[0]
+
+
+def _open(rope_id, client="client-0", **overrides):
+    defaults = dict(
+        client_id=client, rope_id=rope_id, media=Media.VIDEO,
+    )
+    defaults.update(overrides)
+    return OpenSessionRequest(**defaults)
+
+
+class TestLifecycle:
+    def test_open_play_complete(self, server):
+        rope_id = _rope(server)
+        response = server.open(_open(rope_id, auto_play=False))
+        assert response.accepted
+        assert server.status(response.session_id).state is SessionState.OPEN
+        server.play(PlayRequest(session_id=response.session_id))
+        result = server.serve([])
+        status = result.status_of(response.session_id)
+        assert status.state is SessionState.COMPLETED
+        assert status.continuous
+        assert status.blocks_delivered > 0
+
+    def test_auto_play_schedules_immediately(self, server):
+        rope_id = _rope(server)
+        response = server.open(_open(rope_id))
+        assert (
+            server.status(response.session_id).state is SessionState.PLAYING
+        )
+
+    def test_pause_resume_roundtrip(self, server):
+        rope_id = _rope(server)
+        sid = server.open(_open(rope_id)).session_id
+        assert server.pause(
+            PauseRequest(session_id=sid)
+        ).state is SessionState.PAUSED
+        assert server.resume(
+            ResumeRequest(session_id=sid)
+        ).state is SessionState.PLAYING
+        result = server.serve([])
+        assert result.status_of(sid).state is SessionState.COMPLETED
+
+    def test_destructive_pause_releases_and_readmits(self, server):
+        rope_id = _rope(server)
+        sid = server.open(_open(rope_id)).session_id
+        controller = server.mrs.msm.admission
+        assert controller.active_count == 1
+        server.pause(PauseRequest(session_id=sid, destructive=True))
+        assert controller.active_count == 0
+        server.resume(ResumeRequest(session_id=sid))
+        assert controller.active_count == 1
+        result = server.serve([])
+        assert result.status_of(sid).state is SessionState.COMPLETED
+        assert controller.active_count == 0
+
+    def test_stop_releases_resources(self, server):
+        rope_id = _rope(server)
+        sid = server.open(_open(rope_id)).session_id
+        status = server.stop(StopRequest(session_id=sid))
+        assert status.state is SessionState.STOPPED
+        assert server.mrs.msm.admission.active_count == 0
+        # Stopped sessions are not serviced.
+        assert server.serve([]).statuses == ()
+
+    def test_verbs_guard_states(self, server):
+        rope_id = _rope(server)
+        sid = server.open(_open(rope_id)).session_id
+        with pytest.raises(ParameterError):
+            server.play(PlayRequest(session_id=sid))  # already PLAYING
+        with pytest.raises(ParameterError):
+            server.resume(ResumeRequest(session_id=sid))
+        with pytest.raises(ParameterError):
+            server.status("C9999")
+
+
+class TestTypedRejects:
+    def test_unknown_rope(self, server):
+        response = server.open(_open("R9999"))
+        assert not response.accepted
+        assert response.reject is RejectReason.UNKNOWN_ROPE
+
+    def test_access_denied(self, server):
+        rope_id = _rope(server)
+        response = server.open(_open(rope_id, client="stranger"))
+        assert response.reject is RejectReason.ACCESS_DENIED
+
+    def test_empty_interval(self, server):
+        rope_id = _rope(server)
+        response = server.open(_open(rope_id, length=-1.0))
+        assert response.reject is RejectReason.EMPTY_INTERVAL
+
+    def test_capacity_overload_is_typed_not_raised(self, server):
+        """Solo opens beyond n_max come back CAPACITY, no exception."""
+        rope_id = _rope(server, seconds=2.0)
+        responses = [
+            server.open(_open(rope_id, client=f"client-{i}", start=0.0))
+            for i in range(8)
+        ]
+        # Identical intervals, but open() never batches: each open holds
+        # its own slot, so the controller fills up and refuses the rest.
+        accepted = [r for r in responses if r.accepted]
+        rejected = [r for r in responses if not r.accepted]
+        assert accepted and rejected
+        assert all(
+            r.reject in (RejectReason.CAPACITY, RejectReason.K_BOUND)
+            for r in rejected
+        )
+
+    def test_requeue_budget_exhaustion_is_queue_full(self):
+        obs = Observability()
+        server = build_media_server(obs=obs, requeue_limit=2)
+        rope_id = _rope(server, seconds=2.0)
+        requests = [
+            _open(rope_id, client=f"client-{i}", start=0.1 * i)
+            for i in range(8)
+        ]
+        # Distinct intervals: no batching, so the tail exceeds capacity,
+        # gets re-queued twice, then is refused as QUEUE_FULL.
+        result = server.serve(requests)
+        assert result.rejects
+        assert all(
+            r.reject is RejectReason.QUEUE_FULL for r in result.rejects
+        )
+        assert all(r.requeues == 2 for r in result.rejects)
+
+
+class TestBatchedServe:
+    def test_same_interval_requests_share_one_batch(self, server):
+        rope_id = _rope(server)
+        result = server.serve([
+            _open(rope_id, client=f"client-{i}", arrival=0.02 * i)
+            for i in range(4)
+        ])
+        assert result.batches == 1
+        leaders = {s.batch_leader for s in result.statuses}
+        assert len(leaders) == 1
+        assert result.admitted == 4
+        assert result.continuous_sessions == 4
+
+    def test_followers_ride_the_leader_reads(self, server):
+        rope_id = _rope(server)
+        result = server.serve([
+            _open(rope_id, client=f"client-{i}") for i in range(3)
+        ])
+        stats = result.cache_stats
+        # One physical pass over the strand; the two followers hit.
+        assert stats["misses"] == stats["insertions"]
+        assert stats["hits"] >= 2 * stats["misses"]
+        # Every session still delivered its whole sequence.
+        assert len({
+            result.block_sequences[s.session_id]
+            for s in result.statuses
+        }) == 1
+
+    def test_batch_uses_one_admission_slot(self, server):
+        rope_id = _rope(server)
+        server.serve([
+            _open(rope_id, client=f"client-{i}") for i in range(5)
+        ])
+        calls = server.channel.calls_by_method()
+        assert calls.get("admit", 0) == 1
+        assert calls.get("release", 0) == 1
+
+    def test_without_cache_batching_is_disabled(self):
+        server = build_media_server(cache_blocks=0)
+        assert not server.batching
+        rope_id = _rope(server)
+        result = server.serve([
+            _open(rope_id, client=f"client-{i}") for i in range(2)
+        ])
+        assert result.batches == 2
+        assert result.cache_stats == {}
+
+    def test_serve_refuses_untyped_requests(self, server):
+        with pytest.raises(ParameterError):
+            server.serve(["not-a-request"])
+
+
+class TestCacheAwareAdmission:
+    def test_warm_cache_admits_without_controller(self):
+        run = run_server_hot_scenario(sessions=6, strands=2, seconds=1.0)
+        final = run.results[-1]
+        assert final.admitted == 6
+        assert all(s.cache_admitted for s in final.statuses)
+        # The controller holds no slots for the cache-admitted wave.
+        calls = run.server.channel.calls_by_method()
+        warm_epochs = len(run.rope_ids)
+        assert calls["admit"] == warm_epochs
+        assert run.server.mrs.msm.admission.active_count == 0
+
+    def test_hot_wave_exceeds_per_request_capacity(self):
+        run = run_server_hot_scenario(sessions=50, strands=5, seconds=2.0)
+        final = run.results[-1]
+        n_max = run.server.mrs.msm.admission.capacity(
+            run.server.mrs.msm.descriptor_for_media(True)
+        )
+        assert final.continuous_sessions == 50 > n_max
+
+    def test_completion_unpins_the_cache(self):
+        run = run_server_hot_scenario(sessions=6, strands=2, seconds=1.0)
+        assert run.server.cache.pinned_count == 0
+
+
+class TestObservability:
+    def test_counters_and_audit_trail(self):
+        obs = Observability()
+        run = run_server_steady_scenario(obs=obs)
+        snapshot = run.obs.registry.counter("server.sessions_opened")
+        assert snapshot.value == len(run.final.statuses)
+        decisions = [
+            e for e in obs.audit.entries()
+            if e.subject.startswith("batch")
+        ]
+        assert decisions
+        for entry in decisions:
+            assert entry.evaluate()

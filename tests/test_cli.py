@@ -1,8 +1,10 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import EXPERIMENTS, build_parser, main
 
 
 class TestProfiles:
@@ -55,10 +57,77 @@ class TestDemo:
         assert "misses 0" in out
 
 
+class TestServe:
+    def test_serve_small_scenario(self, capsys):
+        assert main([
+            "serve", "--sessions", "6", "--strands", "2",
+            "--seconds", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "6 admitted" in out
+        assert "2 batches" in out
+
+    def test_serve_json_is_the_serve_result_shape(self, capsys):
+        assert main([
+            "serve", "--sessions", "4", "--strands", "2",
+            "--seconds", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["admitted"] == 4
+        assert payload["continuous_sessions"] == 4
+        assert payload["cache_stats"]["hits"] > 0
+        assert len(payload["sessions"]) == 4
+
+    def test_serve_compare_batched_beats_per_request(self, capsys):
+        assert main([
+            "serve", "--compare", "--sessions", "8", "--strands", "2",
+            "--seconds", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["batched"]["continuous"] > (
+            payload["per_request"]["continuous"]
+        )
+
+    def test_serve_smoke_emits_snapshot(self, capsys):
+        assert main(["serve", "--smoke"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" in payload
+        assert payload["metrics"]["counters"]["server.batches"] > 0
+
+    def test_serve_no_cache_disables_batching(self, capsys):
+        assert main([
+            "serve", "--sessions", "4", "--strands", "2",
+            "--seconds", "1", "--no-cache", "--json",
+        ]) == 0  # the admitted subset still plays without misses
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache_stats"] == {}
+        assert payload["batches"] == 4
+        # Without the cache there is no batching: per-request admission
+        # fills the controller and overload rejects the tail.
+        assert payload["admitted"] < 4
+        assert payload["sessions"][-1]["state"] == "rejected"
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_scenario_commands_share_seed_and_json_options(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        for name in ("demo", "obs-report", "perf-sweep", "serve"):
+            sub = subparsers.choices[name]
+            options = {
+                option
+                for action in sub._actions
+                for option in action.option_strings
+            }
+            assert "--seed" in options, name
+            assert "--json" in options, name
 
 
 class TestExtensionExperimentsViaCli:

@@ -85,6 +85,13 @@ class TestBenchPerfSchema:
         assert sweep["workers"] >= 1
         for row in sweep["results"]:
             assert BENCH_PERF_POINT_KEYS <= set(row), row
+        compare = record["server_compare"]
+        assert compare["batched_wins"] is True
+        assert compare["batched"]["continuous"] > (
+            compare["per_request"]["continuous"]
+        )
+        assert compare["sessions"] >= compare["strands"] >= 1
+        assert compare["wall_time_s"] >= 0
 
     def test_smoke_run_emits_schema_valid_bench_perf_json(self):
         result = _run_pytest(
@@ -127,8 +134,17 @@ class TestMarkers:
     def test_markers_are_registered(self):
         config = tomllib.loads((ROOT / "pyproject.toml").read_text())
         markers = config["tool"]["pytest"]["ini_options"]["markers"]
-        for name in ("chaos", "golden", "perf"):
+        for name in ("chaos", "golden", "perf", "server"):
             assert any(m.startswith(f"{name}:") for m in markers), name
+
+    def test_server_marker_selects_server_tests(self):
+        result = _run_pytest(
+            ["tests/server", "-m", "server", "--collect-only", "-q"]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "test_media_server" in result.stdout
+        assert "test_batch_admission" in result.stdout
+        assert "test_cache_equivalence" in result.stdout
 
     def test_perf_marker_selects_perf_tests(self):
         result = _run_pytest(
@@ -139,6 +155,24 @@ class TestMarkers:
         assert "test_sweep" in result.stdout
 
 
+class TestServeSmoke:
+    def test_serve_smoke_emits_valid_obs_snapshot(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--smoke"],
+            cwd=ROOT, capture_output=True, text=True, env=env,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        snapshot = json.loads(result.stdout)
+        counters = snapshot["metrics"]["counters"]
+        assert counters["server.batches"] > 0
+        assert counters["server.sessions_opened"] > 0
+        assert counters["cache.hits"] > 0
+        assert snapshot["audit"], "no admission audit entries"
+
+
 class TestLintConfig:
     def test_ruff_config_present_and_scoped(self):
         config = tomllib.loads((ROOT / "pyproject.toml").read_text())
@@ -146,3 +180,8 @@ class TestLintConfig:
         assert ruff["target-version"] == "py39"
         select = ruff["lint"]["select"]
         assert "F" in select  # pyflakes family is the baseline
+
+    def test_facade_reexports_are_lint_exempt(self):
+        config = tomllib.loads((ROOT / "pyproject.toml").read_text())
+        ignores = config["tool"]["ruff"]["lint"]["per-file-ignores"]
+        assert "F401" in ignores["src/repro/__init__.py"]
