@@ -20,6 +20,7 @@ from pathlib import Path
 from conftest import emit, param, pedantic_args, smoke_mode
 
 from repro.perf import (
+    run_obs_overhead_scenario,
     run_scale_scenario,
     run_server_compare_scenario,
     run_sweep,
@@ -37,6 +38,9 @@ SWEEP_DRIVES = param(("testbed", "table"), ("testbed",))
 SWEEP_ARRIVALS = param(("uniform", "staggered"), ("uniform",))
 SERVE_SESSIONS = param(50, 8)
 SERVE_STRANDS = param(5, 2)
+OBS_STREAMS = param(100, 8)
+OBS_BLOCKS = param(1000, 50)
+OBS_REPEATS = param(5, 2)
 
 
 def _scenario(streams: int) -> ScaleScenario:
@@ -89,6 +93,21 @@ def test_perf_scale_points(benchmark):
         f"{compare.per_request_continuous}"
     )
 
+    overhead = run_obs_overhead_scenario(
+        streams=OBS_STREAMS,
+        blocks_per_stream=OBS_BLOCKS,
+        repeats=OBS_REPEATS,
+    )
+    if not smoke_mode():
+        # The acceptance budget: full tracing + metrics + SLOs must cost
+        # < 15% wall on the 100-session scenario.  Smoke walls are too
+        # small to compare meaningfully, so only full mode enforces it.
+        assert overhead.within_budget, (
+            f"observability overhead ratio {overhead.ratio:.3f} exceeds "
+            f"budget {overhead.budget_ratio:.2f} "
+            f"({overhead.wall_obs_s:.3f}s vs {overhead.wall_off_s:.3f}s)"
+        )
+
     record = {
         "benchmark": "perf_scale",
         "schema_version": 1,
@@ -97,6 +116,7 @@ def test_perf_scale_points(benchmark):
         "points": [point.to_dict() for point in points],
         "sweep": sweep.to_dict(),
         "server_compare": compare.to_dict(),
+        "obs_overhead": overhead.to_dict(),
     }
     path = _bench_path()
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -115,6 +135,12 @@ def test_perf_scale_points(benchmark):
         f"  serve compare: batched {compare.batched_continuous} vs "
         f"per-request {compare.per_request_continuous} continuous "
         f"({compare.sessions_per_second:,.0f} sessions/s)"
+    )
+    table_lines.append(
+        f"  obs overhead: x{overhead.ratio:.3f} "
+        f"({overhead.wall_obs_s:.3f}s traced vs "
+        f"{overhead.wall_off_s:.3f}s off, {overhead.spans} spans, "
+        f"budget x{overhead.budget_ratio:.2f})"
     )
     emit("\n".join(table_lines), sweep.table())
 

@@ -22,11 +22,16 @@ Commands
     batched admission + block cache — and print the outcome; with
     ``--compare``, pit it against per-request admission on the same
     disk (see :mod:`repro.server.scenarios`).
+``trace-export [--scenario NAME] [--out FILE] [--json]``
+    Run a canonical scenario with span tracing on and emit its causal
+    trace as Chrome trace-event JSON, loadable in Perfetto
+    (https://ui.perfetto.dev) or ``chrome://tracing`` — see
+    :meth:`repro.obs.SpanTracer.to_chrome_trace`.
 
 Every scenario-running subcommand (``demo``, ``obs-report``,
-``perf-sweep``, ``serve``) accepts ``--seed`` and ``--json`` via one
-shared option builder, so scripted callers can rely on the same
-determinism and output contract everywhere.
+``perf-sweep``, ``serve``, ``trace-export``) accepts ``--seed`` and
+``--json`` via one shared option builder, so scripted callers can rely
+on the same determinism and output contract everywhere.
 """
 
 from __future__ import annotations
@@ -85,8 +90,9 @@ def _add_common_options(
     """Attach the ``--seed`` / ``--json`` pair every scenario command has.
 
     One shared builder keeps the contract uniform: the same flag names,
-    types, and defaults on ``demo``, ``obs-report``, ``perf-sweep``, and
-    ``serve`` — tests introspect the parser to enforce this.
+    types, and defaults on ``demo``, ``obs-report``, ``perf-sweep``,
+    ``serve``, and ``trace-export`` — tests introspect the parser to
+    enforce this.
     """
     parser.add_argument("--seed", type=int, default=seed_default,
                         help=seed_help)
@@ -328,6 +334,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if result.total_misses == 0 else 1
 
 
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.observer import Observability
+
+    if args.scenario in ("steady", "fault"):
+        from repro.obs.scenarios import (
+            run_fault_scenario,
+            run_steady_scenario,
+        )
+
+        obs = Observability(seed=args.seed)
+        obs.enable_slos()
+        if args.scenario == "steady":
+            run_steady_scenario(obs=obs)
+        else:
+            run_fault_scenario(seed=args.seed, obs=obs)
+    elif args.scenario == "server-steady":
+        from repro.server.scenarios import run_server_steady_scenario
+
+        obs = Observability(seed=args.seed)
+        obs.enable_slos()
+        run_server_steady_scenario(obs=obs)
+    else:
+        from repro.server.scenarios import run_server_hot_scenario
+
+        obs = Observability.for_scale(seed=args.seed)
+        run_server_hot_scenario(seed=args.seed, obs=obs)
+    document = obs.tracer.to_chrome_trace()
+    payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    if args.json:
+        sys.stdout.write(payload)
+    else:
+        other = document["otherData"]
+        print(
+            f"{args.scenario}: {other['spans']} spans "
+            f"({other['dropped']} dropped), "
+            f"{len(document['traceEvents'])} trace events"
+        )
+        if args.out:
+            print(f"wrote {args.out}")
+        else:
+            print(
+                "pass --out FILE (or --json) and load the file in "
+                "https://ui.perfetto.dev or chrome://tracing"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -479,6 +537,25 @@ def build_parser() -> argparse.ArgumentParser:
         json_help="print the serve result as JSON",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    trace_export = commands.add_parser(
+        "trace-export",
+        help="export a scenario's causal trace as Chrome trace JSON",
+    )
+    trace_export.add_argument(
+        "--scenario", default="server-steady",
+        choices=["steady", "fault", "server-steady", "server-hot"],
+        help="which canonical scenario to trace (default: server-steady)",
+    )
+    trace_export.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the trace-event JSON to FILE",
+    )
+    _add_common_options(
+        trace_export, seed_help="scenario seed (trace ids derive from it)",
+        json_help="print the trace-event JSON to stdout",
+    )
+    trace_export.set_defaults(handler=_cmd_trace_export)
     return parser
 
 

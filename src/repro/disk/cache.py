@@ -292,6 +292,53 @@ class CachedDrive:
                 self._obs_evictions.inc(delta)
         return duration
 
+    def traced_read(
+        self, slot: int, bits: Optional[float], now: float, tracer, parent
+    ) -> float:
+        """Read through the cache under a ``cache.read`` span.
+
+        A hit closes the span with status ``hit`` after ``hit_time``
+        seconds; a miss delegates to the inner drive's traced read (so
+        its ``disk.access`` span nests under this one) and closes with
+        status ``miss``.  Hit/miss accounting, insertion, and fault
+        semantics are identical to :meth:`read_slot`.
+        """
+        span = tracer.start_span(
+            "cache.read", now, parent=parent, attrs={"slot": slot}
+        )
+        if self.cache.lookup(slot):
+            if self._obs_hits is not None:
+                self._obs_hits.inc()
+            tracer.end_span(span, now + self.hit_time, status="hit")
+            return self.hit_time
+        if self._obs_misses is not None:
+            self._obs_misses.inc()
+        try:
+            duration = self.inner.traced_read(
+                slot, bits, now, tracer,
+                span if span is not None else parent,
+            )
+        except MediaDefectError as fault:
+            self.cache.invalidate(slot)
+            tracer.end_span(
+                span, now + getattr(fault, "elapsed", 0.0), status="defect"
+            )
+            raise
+        except Exception as fault:
+            tracer.end_span(
+                span, now + getattr(fault, "elapsed", 0.0),
+                status=type(fault).__name__,
+            )
+            raise
+        evictions_before = self.cache.stats.evictions
+        self.cache.insert(slot)
+        if self._obs_evictions is not None:
+            delta = self.cache.stats.evictions - evictions_before
+            if delta:
+                self._obs_evictions.inc(delta)
+        tracer.end_span(span, now + duration, status="miss")
+        return duration
+
     def write_slot(self, slot: int, bits: Optional[float] = None) -> float:
         """Write through to the mechanism, invalidating residency."""
         self.cache.invalidate(slot)

@@ -301,6 +301,30 @@ class SimulatedDrive:
         self.stats.reads += 1
         return duration
 
+    def traced_read(
+        self, slot: int, bits: Optional[float], now: float, tracer, parent
+    ) -> float:
+        """Read *slot* under a ``disk.access`` span; returns elapsed seconds.
+
+        The span covers the access's simulated duration.  On an injected
+        fault it is closed at the time the doomed attempt consumed, with
+        the fault's type name as status, and the fault propagates.
+        """
+        span = tracer.start_span(
+            "disk.access", now, parent=parent, attrs={"slot": slot}
+        )
+        try:
+            duration = self.read_slot(slot, bits)
+        except Exception as fault:
+            tracer.end_span(
+                span,
+                now + getattr(fault, "elapsed", 0.0),
+                status=type(fault).__name__,
+            )
+            raise
+        tracer.end_span(span, now + duration)
+        return duration
+
     def write_slot(self, slot: int, bits: Optional[float] = None) -> float:
         """Write the block in *slot*; timing identical to a read (§3)."""
         duration = self._access(slot, bits)

@@ -84,6 +84,8 @@ def read_with_recovery(
     tracer: Optional[Tracer] = None,
     subject: str = "",
     obs=None,
+    span_tracer=None,
+    span=None,
 ) -> Tuple[float, bool]:
     """Read *slot*, recovering from injected faults per *policy*.
 
@@ -104,14 +106,33 @@ def read_with_recovery(
     HeadFailureError
         The drive died; ``elapsed`` on the exception includes all time
         this call consumed before the failure surfaced.
+
+    With *span_tracer* (a :class:`~repro.obs.tracing.SpanTracer`) and a
+    parent *span*, each access attempt is traced through the drive's
+    ``traced_read`` (when it has one), retries become ``fault.retry``
+    spans covering their backoff window, and skips become instant
+    ``fault.skip`` spans — so the causal trace explains every glitch.
     """
     trace = tracer if tracer is not None else _NULL_TRACER
     counters = obs.registry if obs is not None else None
+    traced = span_tracer is not None and hasattr(drive, "traced_read")
+
+    def _span_event(name, start, end, attrs):
+        if span_tracer is None:
+            return
+        event = span_tracer.start_span(name, start, parent=span, attrs=attrs)
+        span_tracer.end_span(event, end)
+
     elapsed = 0.0
     attempts = 0
     while True:
         try:
-            elapsed += drive.read_slot(slot, bits)
+            if traced:
+                elapsed += drive.traced_read(
+                    slot, bits, now + elapsed, span_tracer, span
+                )
+            else:
+                elapsed += drive.read_slot(slot, bits)
         except TransientReadError as fault:
             elapsed += fault.elapsed
             trace.emit(
@@ -128,6 +149,10 @@ def read_with_recovery(
                 )
                 if counters is not None:
                     counters.counter("fault.skips").inc()
+                _span_event(
+                    "fault.skip", now + elapsed, now + elapsed,
+                    {"slot": slot, "reason": "budget"},
+                )
                 return elapsed, False
             if (
                 policy.deadline_aware
@@ -142,9 +167,14 @@ def read_with_recovery(
                 if counters is not None:
                     counters.counter("fault.skips").inc()
                     counters.counter("fault.deadline_abandons").inc()
+                _span_event(
+                    "fault.skip", now + elapsed, now + elapsed,
+                    {"slot": slot, "reason": "deadline"},
+                )
                 return elapsed, False
             attempts += 1
             drive.stats.retries += 1
+            fault_time = now + elapsed
             elapsed += policy.retry_backoff
             trace.emit(
                 now + elapsed, "fault.retry", subject,
@@ -153,6 +183,10 @@ def read_with_recovery(
             )
             if counters is not None:
                 counters.counter("fault.retries").inc()
+            _span_event(
+                "fault.retry", fault_time, now + elapsed,
+                {"slot": slot, "attempt": attempts},
+            )
             continue
         except MediaDefectError as fault:
             elapsed += fault.elapsed
@@ -167,6 +201,10 @@ def read_with_recovery(
             if counters is not None:
                 counters.counter("fault.injected").inc()
                 counters.counter("fault.skips").inc()
+            _span_event(
+                "fault.skip", now + elapsed, now + elapsed,
+                {"slot": slot, "reason": "defect"},
+            )
             return elapsed, False
         except HeadFailureError as fault:
             fault.elapsed += elapsed

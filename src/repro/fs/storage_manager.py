@@ -232,6 +232,50 @@ class MultimediaStorageManager:
             f"(cumulative heads lost: {self.degraded_heads})",
         )
 
+    # -- admission (RPC-visible surface) -----------------------------------------
+
+    def _trace_span(self, name: str, trace):
+        """Open a span continuing a wire *trace* context, or None."""
+        if trace is None or self.obs is None:
+            return None
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return None
+        return tracer.start_span(
+            name, float(trace.get("time", 0.0)), parent=trace
+        )
+
+    def admit(self, descriptor, trace=None):
+        """Run admission control for *descriptor* (§3.4, Eq. 17/18).
+
+        This is the method the MRS calls across the RPC boundary; the
+        optional *trace* keyword is a marshalled span context
+        (:meth:`repro.obs.tracing.Span.wire`) continued here as an
+        ``msm.admit`` span, so a session's trace stays connected from
+        the server front end down into the storage manager.
+        """
+        span = self._trace_span("msm.admit", trace)
+        tracer = self.obs.tracer if self.obs is not None else None
+        try:
+            decision = self.admission.admit(descriptor)
+        except Exception as error:
+            if span is not None:
+                tracer.end_span(
+                    span, span.start, status=type(error).__name__
+                )
+            raise
+        if span is not None:
+            span.attrs["request_id"] = decision.request_id
+            tracer.end_span(span, span.start)
+        return decision
+
+    def release(self, request_id: str, trace=None) -> None:
+        """Release an admitted request's service slot (RPC-visible)."""
+        span = self._trace_span("msm.release", trace)
+        self.admission.release(request_id)
+        if span is not None:
+            self.obs.tracer.end_span(span, span.start)
+
     # -- admission descriptors ---------------------------------------------------
 
     def descriptor_for_media(

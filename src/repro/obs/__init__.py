@@ -11,7 +11,13 @@ reproduction proves it kept them.  Components report into an optional
   (``enqueued → read-start → read-done → consumed | skipped``) with
   simulated timestamps and machine-checked ordering invariants;
 * :class:`AdmissionAuditLog` — every admit/reject/revalidate with the
-  exact inequality and operand values the decision turned on.
+  exact inequality and operand values the decision turned on;
+* :class:`SpanTracer` — deterministic causal spans across the whole
+  MRS→MSM→rounds→disk request path, exportable as Chrome trace-event
+  JSON (``repro trace-export``);
+* :class:`SloMonitor` — declarative objectives (continuity, deadline
+  slack quantiles, typed reject rates, cache hit ratio) evaluated per
+  round with breach-transition events in the snapshot.
 
 Canonical end-to-end scenarios (the golden-trace baselines) live in
 :mod:`repro.obs.scenarios`, imported lazily to avoid cycles with the
@@ -31,7 +37,9 @@ from repro.obs.registry import (
     MetricsRegistry,
     ProfileTimer,
 )
+from repro.obs.slo import DEFAULT_SLOS, Slo, SloMonitor
 from repro.obs.timeline import BlockStage, SessionTimeline, TimelineEvent
+from repro.obs.tracing import Span, SpanTracer
 
 __all__ = [
     "AdmissionAuditLog",
@@ -39,6 +47,7 @@ __all__ = [
     "BlockStage",
     "Counter",
     "DEADLINE_SLACK_BUCKETS",
+    "DEFAULT_SLOS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -49,5 +58,9 @@ __all__ = [
     "ROUND_UTILIZATION_BUCKETS",
     "SEEK_TIME_BUCKETS",
     "SessionTimeline",
+    "Slo",
+    "SloMonitor",
+    "Span",
+    "SpanTracer",
     "TimelineEvent",
 ]

@@ -19,30 +19,99 @@ cost (the ``bench_micro_ops`` acceptance bar).
 from __future__ import annotations
 
 import json
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from repro.obs.audit import AdmissionAuditLog
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SloMonitor
 from repro.obs.timeline import SessionTimeline
+from repro.obs.tracing import SpanTracer
 
 __all__ = ["Observability", "NULL_OBS"]
 
 
 class Observability:
-    """Bundle of registry + timeline + audit log for one run.
+    """Bundle of registry + timeline + audit + spans + SLOs for one run.
 
     Parameters
     ----------
     enabled:
         When False every surface is a null recorder; snapshots are empty
         but still byte-stable.
+    seed:
+        Folded into the span tracer's deterministic trace ids; pass the
+        scenario seed so distinct seeds get distinct id spaces.
+    timeline_keep_first / timeline_every_kth / timeline_summary_sessions:
+        Forwarded to :class:`SessionTimeline` (per-block sampling and
+        the summary cap for large scenarios).
+    tracer:
+        A pre-built :class:`SpanTracer` (e.g. with block sampling or a
+        strict limit); by default a full-fidelity tracer is created.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(
+        self,
+        enabled: bool = True,
+        seed: int = 0,
+        timeline_keep_first: Optional[int] = None,
+        timeline_every_kth: Optional[int] = None,
+        timeline_summary_sessions: Optional[int] = None,
+        tracer: Optional[SpanTracer] = None,
+    ):
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled)
-        self.timeline = SessionTimeline(enabled)
+        self.timeline = SessionTimeline(
+            enabled,
+            keep_first=timeline_keep_first,
+            every_kth=timeline_every_kth,
+            summary_sessions=timeline_summary_sessions,
+        )
         self.audit = AdmissionAuditLog(enabled)
+        self.tracer = (
+            tracer if tracer is not None
+            else SpanTracer(enabled=enabled, seed=seed)
+        )
+        self.slo: Optional[SloMonitor] = None
+        self._sim_tracers: list = []
+
+    @classmethod
+    def for_scale(cls, seed: int = 0) -> "Observability":
+        """A sampled/capped configuration for large scenarios.
+
+        Keeps the first blocks of every session at full per-block
+        fidelity, then samples every 64th block, and caps the timeline
+        summary — bounding both golden-snapshot size and the tracing
+        overhead on 100k-block runs, while metrics/SLO rollups still see
+        every block.
+        """
+        obs = cls(
+            seed=seed,
+            timeline_keep_first=8,
+            timeline_every_kth=64,
+            timeline_summary_sessions=8,
+            tracer=SpanTracer(
+                seed=seed, block_keep_first=4, block_every_kth=64
+            ),
+        )
+        obs.enable_slos()
+        return obs
+
+    def enable_slos(self, slos=None) -> SloMonitor:
+        """Attach an :class:`SloMonitor` (idempotent; default objectives
+        when *slos* is None)."""
+        if self.slo is None:
+            from repro.obs.slo import DEFAULT_SLOS
+            self.slo = SloMonitor(
+                self.registry, DEFAULT_SLOS if slos is None else slos
+            )
+        return self.slo
+
+    def attach_sim_tracer(self, tracer) -> None:
+        """Register a :class:`repro.sim.trace.Tracer` for health
+        surfacing, so snapshots report its drop count instead of letting
+        overflow truncate event traces silently."""
+        if all(existing is not tracer for existing in self._sim_tracers):
+            self._sim_tracers.append(tracer)
 
     def timed(self, name: str):
         """Profiling context manager on the shared registry."""
@@ -58,6 +127,18 @@ class Observability:
             ),
             "timeline": self.timeline.summary_dict(),
             "audit": self.audit.as_dicts(),
+            "spans": self.tracer.summary_dict(),
+            "slo": (
+                self.slo.summary_dict() if self.slo is not None else {}
+            ),
+            "trace_health": {
+                "sim_events_dropped": sum(
+                    t.dropped for t in self._sim_tracers
+                ),
+                "sim_strict": any(t.strict for t in self._sim_tracers),
+                "spans_dropped": self.tracer.dropped_count,
+                "spans_strict": self.tracer.strict,
+            },
         }
 
     def snapshot(self, include_profile: bool = False) -> str:
@@ -117,6 +198,25 @@ class Observability:
                 f"jitter={summary['interarrival_jitter_s']:.6f}s "
                 f"conserved={summary['conserved']}"
             )
+        lines.append("== spans ==")
+        spans = self.tracer.summary_dict()
+        lines.append(
+            f"  total={spans['count']} open={spans['open']} "
+            f"traces={spans['traces']} dropped={spans['dropped']}"
+        )
+        for name, count in spans["by_name"].items():
+            lines.append(f"  {name:<36} {count}")
+        if self.slo is not None:
+            lines.append("== slo ==")
+            summary = self.slo.summary_dict()
+            for name, entry in sorted(summary["objectives"].items()):
+                state = {True: "ok", False: "BREACH", None: "no-data"}[
+                    entry["satisfied"]
+                ]
+                lines.append(
+                    f"  {name:<24} {entry['metric']} {entry['op']} "
+                    f"{entry['threshold']:g} -> {state}"
+                )
         lines.append("== admission audit ==")
         audit = self.audit.render()
         if audit:

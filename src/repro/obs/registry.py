@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import time as _time
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import ParameterError
@@ -125,11 +126,11 @@ class Histogram:
         """Record one sample."""
         self.count += 1
         self.total += value
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.overflow += 1
+        index = bisect_left(self.buckets, value)
+        if index < len(self.counts):
+            self.counts[index] += 1
+        else:
+            self.overflow += 1
 
     @property
     def mean(self) -> float:
@@ -137,6 +138,26 @@ class Histogram:
         if self.count == 0:
             return 0.0
         return self.total / self.count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate.
+
+        Returns the smallest bucket upper bound covering at least
+        fraction *q* of the samples — ``inf`` when the quantile lands in
+        the overflow region, None when the histogram is empty.  The
+        estimate is exact to bucket granularity and fully deterministic.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ParameterError(f"quantile q must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                return bound
+        return float("inf")
 
 
 class ProfileTimer:
@@ -275,6 +296,22 @@ class MetricsRegistry:
                 ...
         """
         return self.timer(name)
+
+    # -- read-only access --------------------------------------------------------
+
+    def peek_counter(self, name: str) -> Optional[int]:
+        """The counter's value, or None when it was never registered.
+
+        Unlike :meth:`counter` this never creates the instrument, so
+        derived evaluators (the SLO monitor) can probe without changing
+        what a snapshot contains.
+        """
+        instrument = self._counters.get(name)
+        return None if instrument is None else instrument.value
+
+    def peek_histogram(self, name: str) -> Optional[Histogram]:
+        """The histogram instrument, or None when never registered."""
+        return self._histograms.get(name)
 
     # -- serialization -----------------------------------------------------------
 

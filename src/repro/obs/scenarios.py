@@ -90,7 +90,9 @@ def run_steady_scenario(
     shows what a continuity-clean run looks like (every session
     conserved, zero ``fault.*`` counters, slack comfortably positive).
     """
-    obs = obs if obs is not None else Observability()
+    if obs is None:
+        obs = Observability(seed=DEFAULT_SEED)
+        obs.enable_slos()
     mrs = _build_server(obs)
     play_ids = _record_plays(mrs, requests, seconds, "steady")
     session = PlaybackSession(mrs)
@@ -116,7 +118,9 @@ def run_fault_scenario(
     and an optional head failure degrades service and leaves a
     ``revalidate`` entry in the admission audit log.
     """
-    obs = obs if obs is not None else Observability()
+    if obs is None:
+        obs = Observability(seed=seed)
+        obs.enable_slos()
     mrs = _build_server(obs)
     play_ids = _record_plays(mrs, 1, seconds, "faulted")
     slots = [

@@ -20,7 +20,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import ParameterError, SimulationError
 
 __all__ = ["BlockStage", "TimelineEvent", "SessionTimeline"]
 
@@ -72,13 +72,56 @@ class SessionTimeline:
     enabled:
         When False, :meth:`record` is a no-op (the null-observer
         pattern; see :mod:`repro.obs.registry`).
+    keep_first / every_kth:
+        Per-block sampling for large scenarios: blocks with index below
+        ``keep_first`` always record, then every ``every_kth``-th block.
+        The gate is purely index-based, so a sampled block keeps *all*
+        of its lifecycle stages and the conservation law still holds on
+        the sample.  Both None (the default) records every block.
+    summary_sessions:
+        Cap on fully-listed sessions in :meth:`summary_dict`; sessions
+        beyond the cap collapse into one ``"~aggregate"`` entry (``~``
+        sorts after session ids in sorted-key JSON).  None lists all.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(
+        self,
+        enabled: bool = True,
+        keep_first: Optional[int] = None,
+        every_kth: Optional[int] = None,
+        summary_sessions: Optional[int] = None,
+    ):
+        if keep_first is not None and keep_first < 0:
+            raise ParameterError(
+                f"keep_first must be >= 0, got {keep_first}"
+            )
+        if every_kth is not None and every_kth < 1:
+            raise ParameterError(
+                f"every_kth must be >= 1, got {every_kth}"
+            )
+        if summary_sessions is not None and summary_sessions < 1:
+            raise ParameterError(
+                f"summary_sessions must be >= 1, got {summary_sessions}"
+            )
         self.enabled = enabled
+        self.keep_first = keep_first
+        self.every_kth = every_kth
+        self.summary_sessions = summary_sessions
         self._events: List[TimelineEvent] = []
 
     # -- recording ---------------------------------------------------------------
+
+    def samples(self, block_index: int) -> bool:
+        """Whether events for *block_index* are recorded.
+
+        The service loop inlines this predicate on its hot path; this
+        method is the reference definition the tests pin.
+        """
+        keep = self.keep_first
+        if keep is None or block_index < keep:
+            return True
+        every = self.every_kth
+        return every is not None and block_index % every == 0
 
     def record(
         self,
@@ -87,9 +130,14 @@ class SessionTimeline:
         block_index: int,
         stage: BlockStage,
     ) -> None:
-        """Append one lifecycle event (no-op when disabled)."""
+        """Append one lifecycle event (no-op when disabled/sampled out)."""
         if not self.enabled:
             return
+        keep = self.keep_first
+        if keep is not None and block_index >= keep:
+            every = self.every_kth
+            if every is None or block_index % every:
+                return
         self._events.append(
             TimelineEvent(time, session_id, block_index, stage)
         )
@@ -208,9 +256,19 @@ class SessionTimeline:
     # -- serialization -----------------------------------------------------------
 
     def summary_dict(self) -> Dict[str, Dict]:
-        """Per-session telemetry for snapshot embedding (deterministic)."""
+        """Per-session telemetry for snapshot embedding (deterministic).
+
+        With ``summary_sessions`` set, only the first N session ids (in
+        sorted order) are listed individually; the tail collapses into a
+        single ``"~aggregate"`` entry with summed stage counts, so hot
+        scenarios with dozens of sessions produce goldens of bounded
+        size.
+        """
         summary: Dict[str, Dict] = {}
-        for session_id in self.sessions():
+        session_ids = self.sessions()
+        cap = self.summary_sessions
+        listed = session_ids if cap is None else session_ids[:cap]
+        for session_id in listed:
             counts = self.stage_counts(session_id)
             summary[session_id] = {
                 "stages": counts,
@@ -218,6 +276,24 @@ class SessionTimeline:
                     session_id
                 ),
                 "conserved": self.conservation_holds(session_id),
+            }
+        rest = session_ids[len(listed):]
+        if rest:
+            stages: Dict[str, int] = {}
+            conserved = True
+            jitter = 0.0
+            for session_id in rest:
+                for key, count in self.stage_counts(session_id).items():
+                    stages[key] = stages.get(key, 0) + count
+                conserved = conserved and self.conservation_holds(
+                    session_id
+                )
+                jitter = max(jitter, self.interarrival_jitter(session_id))
+            summary["~aggregate"] = {
+                "sessions": len(rest),
+                "stages": stages,
+                "interarrival_jitter_s": jitter,
+                "conserved": conserved,
             }
         return summary
 

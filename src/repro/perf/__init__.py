@@ -15,8 +15,10 @@ alongside for sanity checking.
 
 from repro.perf.scenarios import (
     DRIVE_CONFIGS,
+    ObsOverheadResult,
     ScaleResult,
     ScaleScenario,
+    run_obs_overhead_scenario,
     run_scale_scenario,
 )
 from repro.perf.server_scenarios import (
@@ -27,9 +29,11 @@ from repro.perf.sweep import SweepReport, run_sweep, scale_grid
 
 __all__ = [
     "DRIVE_CONFIGS",
+    "ObsOverheadResult",
     "ScaleScenario",
     "ScaleResult",
     "ServerCompareResult",
+    "run_obs_overhead_scenario",
     "run_scale_scenario",
     "run_server_compare_scenario",
     "SweepReport",

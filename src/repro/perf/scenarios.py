@@ -29,10 +29,12 @@ from repro.service.rounds import Admission, RoundRobinService, StreamState
 
 __all__ = [
     "DRIVE_CONFIGS",
+    "ObsOverheadResult",
     "ScaleScenario",
     "ScaleResult",
     "build_drive_config",
     "build_streams",
+    "run_obs_overhead_scenario",
     "run_scale_scenario",
 ]
 
@@ -218,6 +220,105 @@ def build_streams(
         else:
             initial.append(stream)
     return initial, admissions
+
+
+@dataclass(frozen=True)
+class ObsOverheadResult:
+    """Full observability + tracing vs obs-off walls on one scenario.
+
+    ``ratio`` is ``wall_obs_s / wall_off_s`` (min-of-*repeats* walls on
+    each side, so scheduler noise cannot manufacture a regression); the
+    acceptance budget is ``ratio <= budget_ratio``.
+    """
+
+    streams: int
+    blocks_per_stream: int
+    repeats: int
+    wall_off_s: float
+    wall_obs_s: float
+    ratio: float
+    spans: int
+    spans_dropped: int
+    budget_ratio: float
+
+    @property
+    def within_budget(self) -> bool:
+        """True when tracing overhead stays inside the budget."""
+        return self.ratio <= self.budget_ratio
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (the BENCH_PERF.json ``obs_overhead``)."""
+        return {
+            "streams": self.streams,
+            "blocks_per_stream": self.blocks_per_stream,
+            "repeats": self.repeats,
+            "wall_off_s": self.wall_off_s,
+            "wall_obs_s": self.wall_obs_s,
+            "ratio": self.ratio,
+            "spans": self.spans,
+            "spans_dropped": self.spans_dropped,
+            "budget_ratio": self.budget_ratio,
+            "within_budget": self.within_budget,
+        }
+
+
+def run_obs_overhead_scenario(
+    streams: int = 100,
+    blocks_per_stream: int = 1000,
+    repeats: int = 5,
+    budget_ratio: float = 1.15,
+    seed: int = 0,
+) -> ObsOverheadResult:
+    """Measure tracing overhead on the 100-session perf-sweep scenario.
+
+    Runs the same :class:`ScaleScenario` with observability off and with
+    the full sampled surface on (:meth:`Observability.for_scale`: span
+    tracer, timeline, metrics, SLO monitor), *repeats* times each with
+    the two sides interleaved — off, traced, off, traced, … — so clock
+    drift (thermal throttling, background load) biases neither side,
+    then compares best walls.  A fresh drive, stream set, and observer
+    are built per repeat so neither side reuses warm state.
+    """
+    from repro.obs.observer import Observability
+
+    if repeats < 1:
+        raise ParameterError(f"repeats must be >= 1, got {repeats}")
+    scenario = ScaleScenario(
+        name="obs-overhead",
+        streams=streams,
+        blocks_per_stream=blocks_per_stream,
+        seed=seed,
+    )
+
+    def _one_wall(obs):
+        drive = build_drive_config(scenario.drive)
+        initial, admissions = build_streams(scenario, drive)
+        service = RoundRobinService(
+            drive, lambda _round, _n: scenario.k, obs=obs
+        )
+        start = _time.perf_counter()
+        service.run(initial, admissions, max_rounds=10_000_000)
+        return _time.perf_counter() - start
+
+    wall_off = wall_obs = float("inf")
+    obs = None
+    for _ in range(repeats):
+        wall_off = min(wall_off, _one_wall(None))
+        # Spans are seed-deterministic, so any repeat's observer reports
+        # the same counts; keep the last.
+        obs = Observability.for_scale(seed=seed)
+        wall_obs = min(wall_obs, _one_wall(obs))
+    return ObsOverheadResult(
+        streams=streams,
+        blocks_per_stream=blocks_per_stream,
+        repeats=repeats,
+        wall_off_s=wall_off,
+        wall_obs_s=wall_obs,
+        ratio=wall_obs / max(wall_off, 1e-9),
+        spans=len(obs.tracer),
+        spans_dropped=obs.tracer.dropped_count,
+        budget_ratio=budget_ratio,
+    )
 
 
 def run_scale_scenario(scenario: ScaleScenario) -> ScaleResult:

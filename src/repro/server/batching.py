@@ -84,6 +84,7 @@ def group_into_batches(
     requests: Sequence[OpenSessionRequest],
     window: float,
     enabled: bool = True,
+    tracer=None,
 ) -> List[RequestBatch]:
     """Partition open requests into admission batches.
 
@@ -92,6 +93,10 @@ def group_into_batches(
     *window* seconds of that batch's leader; otherwise it starts a new
     batch.  With ``enabled=False`` (or ``window=0``) every request is
     its own batch — the per-request admission baseline.
+
+    With a span *tracer*, each multi-member batch records one
+    ``server.batch`` span covering leader arrival → last member arrival
+    (the window the batch actually spanned).
 
     Returns batches ordered by admit time (leader arrival), ties broken
     by leader submission order.
@@ -113,7 +118,7 @@ def group_into_batches(
                 continue
         batches.append([request])
         open_batch[key] = len(batches) - 1
-    return [
+    result = [
         RequestBatch(
             key=BatchKey.of(members[0]),
             requests=tuple(members),
@@ -121,3 +126,12 @@ def group_into_batches(
         )
         for members in batches
     ]
+    if tracer is not None and tracer.enabled:
+        for batch in result:
+            span = tracer.start_span(
+                "server.batch",
+                batch.admit_time,
+                attrs={"rope": batch.key.rope_id, "size": batch.size},
+            )
+            tracer.end_span(span, batch.requests[-1].arrival)
+    return result

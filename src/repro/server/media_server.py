@@ -164,10 +164,19 @@ class MediaServer:
         self.recovery = recovery
         self.tracer = tracer
         self.obs = obs if obs is not None else mrs.msm.obs
-        self.channel = RpcChannel("mrs-msm")
+        #: Span tracer for causal request traces (None when unobserved).
+        self._spans = None
+        if self.obs is not None:
+            if self.obs.tracer.enabled:
+                self._spans = self.obs.tracer
+            if tracer is not None:
+                self.obs.attach_sim_tracer(tracer)
+        self.channel = RpcChannel("mrs-msm", tracer=self._spans)
         #: Admission calls cross the MRS↔MSM boundary through this stub,
-        #: so every batch admission is logged with marshalled sizes.
-        self._admission = stub_for(mrs.msm.admission, self.channel)
+        #: so every batch admission is logged with marshalled sizes (the
+        #: stub targets the MSM's public surface, whose admit/release
+        #: continue the caller's span context server-side).
+        self._admission = stub_for(mrs.msm, self.channel)
         if cache_blocks:
             self.cache: Optional[BlockCache] = BlockCache(cache_blocks)
             self._drive = CachedDrive(
@@ -195,6 +204,39 @@ class MediaServer:
         else:
             self._obs_opened = None
 
+    # -- span helpers -------------------------------------------------------------
+
+    def _verb_span(
+        self, name: str, session: _Session, time: float, status: str = "ok"
+    ) -> None:
+        """Record an instantaneous lifecycle-verb span on the session's
+        trace (no-op when untraced or the session has no MRS request)."""
+        tracer = self._spans
+        if tracer is None or session.request_id is None:
+            return
+        parent = tracer.context_for(session.request_id)
+        span = tracer.start_span(
+            name, time, parent=parent, session=session.request_id
+        )
+        tracer.end_span(span, time, status=status)
+
+    def _end_request_span(
+        self, session: _Session, fallback_time: float, status: str
+    ) -> None:
+        """Close a session's root ``server.request`` span at the latest
+        simulated time its trace reached, and drop the binding."""
+        tracer = self._spans
+        if tracer is None or session.request_id is None:
+            return
+        root = tracer.context_for(session.request_id)
+        if root is None:
+            return
+        end = max(
+            fallback_time, tracer.latest_end(root.trace_id, root.start)
+        )
+        tracer.end_span(root, end, status=status)
+        tracer.unbind(session.request_id)
+
     # -- public API: lifecycle verbs --------------------------------------------
 
     def open(self, request: OpenSessionRequest) -> OpenSessionResponse:
@@ -215,6 +257,7 @@ class MediaServer:
             )
         session.state = SessionState.PLAYING
         self._epoch_queue.append(session.session_id)
+        self._verb_span("server.play", session, request.arrival)
         return session.status()
 
     def pause(self, request: PauseRequest) -> SessionStatus:
@@ -229,6 +272,10 @@ class MediaServer:
         if request.destructive:
             self._release_resources(session)
         session.state = SessionState.PAUSED
+        self._verb_span(
+            "server.pause", session, request.arrival,
+            status="destructive" if request.destructive else "ok",
+        )
         return session.status()
 
     def resume(self, request: ResumeRequest) -> SessionStatus:
@@ -248,15 +295,42 @@ class MediaServer:
             descriptor = self.mrs.msm.descriptor_for_media(
                 session.media.includes_video
             )
+            admit_span = None
+            tracer = self._spans
+            if tracer is not None and session.request_id is not None:
+                admit_span = tracer.start_span(
+                    "server.admit",
+                    request.arrival,
+                    parent=tracer.context_for(session.request_id),
+                    session=session.request_id,
+                    attrs={"path": "resume"},
+                )
             try:
-                decision = self._admission.admit(descriptor)
+                if admit_span is not None:
+                    decision = self._admission.admit(
+                        descriptor,
+                        trace=admit_span.wire(request.arrival),
+                    )
+                else:
+                    decision = self._admission.admit(descriptor)
             except AdmissionRejected as rejected:
                 session.state = SessionState.REJECTED
                 session.reject = self._classify(rejected)
+                if tracer is not None:
+                    tracer.end_span(
+                        admit_span, request.arrival, status="rejected"
+                    )
+                self._record_reject(session.reject)
+                self._end_request_span(
+                    session, request.arrival, "rejected"
+                )
                 return session.status()
+            if tracer is not None:
+                tracer.end_span(admit_span, request.arrival)
             session.admission_id = decision.request_id
         session.state = SessionState.PLAYING
         self._epoch_queue.append(session.session_id)
+        self._verb_span("server.resume", session, request.arrival)
         return session.status()
 
     def stop(self, request: StopRequest) -> SessionStatus:
@@ -264,10 +338,12 @@ class MediaServer:
         session = self._session(request.session_id)
         if session.state in (SessionState.STOPPED, SessionState.REJECTED):
             return session.status()
+        self._verb_span("server.stop", session, request.arrival)
         self._dequeue(session)
         self._release_resources(session)
         self._finalize_request(session)
         session.state = SessionState.STOPPED
+        self._end_request_span(session, request.arrival, "stopped")
         return session.status()
 
     def status(self, session_id: str) -> SessionStatus:
@@ -308,7 +384,8 @@ class MediaServer:
         touched: List[str] = []
         rejects: List[OpenSessionResponse] = []
         batches = group_into_batches(
-            opens, self.batch_window, enabled=self.batching
+            opens, self.batch_window, enabled=self.batching,
+            tracer=self._spans,
         )
         queue: List[Tuple[RequestBatch, int]] = [(b, 0) for b in batches]
         position = 0
@@ -415,6 +492,21 @@ class MediaServer:
                 )
                 for member in allowed
             ]
+        tracer = self._spans
+        leader_span = None
+        if tracer is not None:
+            leader_span = tracer.start_span(
+                "server.request",
+                batch.admit_time,
+                session=leader_rid,
+                attrs={
+                    "rope": leader_req.rope_id,
+                    "client": leader_req.client_id,
+                    "batch_size": len(allowed),
+                },
+            )
+            if leader_span is not None:
+                tracer.bind(leader_rid, leader_span)
         playback = self._playback_session()
         slots = tuple(
             f.slot
@@ -432,15 +524,49 @@ class MediaServer:
             # disk-round budget, so it bypasses the §3.4 controller.
             cache_admitted = True
             self._audit_cache_admit(batch, slots)
+            if leader_span is not None:
+                admit_span = tracer.start_span(
+                    "server.admit",
+                    batch.admit_time,
+                    parent=leader_span,
+                    attrs={"path": "cache", "slots": len(set(slots))},
+                )
+                tracer.end_span(admit_span, batch.admit_time)
         else:
             descriptor = self.mrs.msm.descriptor_for_media(
                 leader_req.media.includes_video
             )
+            admit_span = None
+            if leader_span is not None:
+                admit_span = tracer.start_span(
+                    "server.admit",
+                    batch.admit_time,
+                    parent=leader_span,
+                    attrs={"path": "controller"},
+                )
             try:
-                decision = self._admission.admit(descriptor)
+                if admit_span is not None:
+                    decision = self._admission.admit(
+                        descriptor,
+                        trace=admit_span.wire(batch.admit_time),
+                    )
+                else:
+                    decision = self._admission.admit(descriptor)
             except AdmissionRejected as rejected:
                 self.mrs.stop(leader_rid)
-                if allow_requeue and requeues < self.requeue_limit:
+                will_requeue = (
+                    allow_requeue and requeues < self.requeue_limit
+                )
+                if tracer is not None:
+                    status = "requeued" if will_requeue else "rejected"
+                    tracer.end_span(
+                        admit_span, batch.admit_time, status=status
+                    )
+                    tracer.end_span(
+                        leader_span, batch.admit_time, status=status
+                    )
+                    tracer.unbind(leader_rid)
+                if will_requeue:
                     return None
                 reason = (
                     RejectReason.QUEUE_FULL
@@ -451,6 +577,8 @@ class MediaServer:
                     self._rejection(member, reason, requeues, str(rejected))
                     for member in allowed
                 ]
+            if tracer is not None:
+                tracer.end_span(admit_span, batch.admit_time)
             admission_id = decision.request_id
             request = self.mrs.get_request(leader_rid)
             request.admission_id = admission_id
@@ -477,6 +605,19 @@ class MediaServer:
             follower.cache_admitted = cache_admitted
             members.append(follower)
             leader.followers.append(follower.session_id)
+            if tracer is not None:
+                follower_span = tracer.start_span(
+                    "server.request",
+                    batch.admit_time,
+                    session=follower_rid,
+                    attrs={
+                        "rope": follower_req.rope_id,
+                        "client": follower_req.client_id,
+                        "batch_leader": leader.session_id,
+                    },
+                )
+                if follower_span is not None:
+                    tracer.bind(follower_rid, follower_span)
         self._batches_formed += 1
         self._audit_batch(batch, leader, cache_admitted, requeues)
         if self._obs_opened is not None:
@@ -539,8 +680,15 @@ class MediaServer:
             reject=reason,
         )
         self._sessions[session.session_id] = session
-        if self._obs_opened is not None:
-            self._obs_rejected.inc()
+        self._record_reject(reason)
+        if self._spans is not None:
+            span = self._spans.start_span(
+                "server.request",
+                request.arrival,
+                session=session.session_id,
+                attrs={"rope": request.rope_id, "reject": reason.value},
+            )
+            self._spans.end_span(span, request.arrival, status="rejected")
         return OpenSessionResponse(
             session_id=session.session_id,
             accepted=False,
@@ -548,6 +696,15 @@ class MediaServer:
             requeues=requeues,
             detail=detail,
         )
+
+    def _record_reject(self, reason: RejectReason) -> None:
+        """Count a refusal, both in aggregate and by typed reason (the
+        per-reason counters feed the reject-rate SLOs)."""
+        if self._obs_opened is not None:
+            self._obs_rejected.inc()
+            self.obs.registry.counter(
+                f"server.reject.{reason.value}"
+            ).inc()
 
     def _reject_batch(
         self,
@@ -679,6 +836,12 @@ class MediaServer:
             session.state = SessionState.COMPLETED
             self._release_resources(session)
             self._finalize_request(session)
+            self._end_request_span(
+                session,
+                session.arrival,
+                "ok" if not (session.misses or session.skips)
+                else "degraded",
+            )
         return {
             "played": queue,
             "rounds": result.rounds,
@@ -709,7 +872,19 @@ class MediaServer:
         to release.
         """
         if session.admission_id is not None:
-            self._admission.release(session.admission_id)
+            root = None
+            if self._spans is not None and session.request_id is not None:
+                root = self._spans.context_for(session.request_id)
+            if root is not None:
+                release_time = self._spans.latest_end(
+                    root.trace_id, root.start
+                )
+                self._admission.release(
+                    session.admission_id,
+                    trace=root.wire(release_time),
+                )
+            else:
+                self._admission.release(session.admission_id)
             session.admission_id = None
             if session.request_id is not None:
                 self.mrs.get_request(session.request_id).admission_id = None

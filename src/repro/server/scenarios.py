@@ -149,7 +149,9 @@ def run_server_steady_scenario(
     Every open is a batch of one and holds a real admission slot — the
     baseline snapshot a continuity-clean multi-tenant epoch produces.
     """
-    obs = obs if obs is not None else Observability()
+    if obs is None:
+        obs = Observability(seed=DEFAULT_SEED)
+        obs.enable_slos()
     server = build_media_server(obs)
     client_ids = [f"client-{i}" for i in range(clients)]
     rope_ids = _record_strands(
@@ -189,7 +191,8 @@ def run_server_hot_scenario(
     **cache-admitted**: zero controller slots, zero disk reads, every
     session continuous.
     """
-    obs = obs if obs is not None else Observability()
+    if obs is None:
+        obs = Observability.for_scale(seed=seed)
     server = build_media_server(
         obs, cache_blocks=cache_blocks, batch_window=batch_window
     )
@@ -236,7 +239,9 @@ def run_server_fault_scenario(
     never resident.  The snapshot pins the fault counters, the cache
     counters, and the audit trail together.
     """
-    obs = obs if obs is not None else Observability()
+    if obs is None:
+        obs = Observability(seed=seed)
+        obs.enable_slos()
     server = build_media_server(
         obs, recovery=RecoveryPolicy(retry_budget=retry_budget)
     )

@@ -22,6 +22,7 @@ request.  It supports:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -93,6 +94,9 @@ class StreamState:
     #: Delivery indexes whose data never arrived (fault-recovery skips);
     #: the playback timeline still advances over them (the glitch).
     skipped_indices: Set[int] = field(default_factory=set)
+    #: Causal-trace context: the server-side root span (or wire dict)
+    #: this stream's service spans continue, if any.
+    trace: object = None
     #: Consumption cursor: blocks fully played as of the last query, and
     #: the playback clock right after the last consumed block.  Block end
     #: times are non-decreasing, so the cursor only ever moves forward
@@ -100,6 +104,11 @@ class StreamState:
     #: every consumption query O(1) amortized over a stream's lifetime.
     _consumed_count: int = field(default=0, init=False, repr=False)
     _consumed_end: float = field(default=0.0, init=False, repr=False)
+    #: Smallest positive block duration in the fetch plan (the Eq.-11
+    #: budget term), computed lazily since the plan never changes.
+    _duration_floor: Optional[float] = field(
+        default=None, init=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         self.metrics.request_id = self.request_id
@@ -217,6 +226,18 @@ class RoundRobinService:
         self.head_failure: Optional[HeadFailureError] = None
         self.rounds_run = 0
         self.obs = obs
+        # Hoisted observability handles: the per-block hot loop reads
+        # these locals-of-self instead of chasing obs attributes, and a
+        # disabled surface is a plain None test.
+        self._tl = None
+        self._tl_keep: Optional[int] = None
+        self._tl_every: Optional[int] = None
+        self._sp = None
+        self._sp_keep: Optional[int] = None
+        self._sp_every: Optional[int] = None
+        self._slo = None
+        self._stream_spans: Dict[str, object] = {}
+        self._drive_traced = hasattr(drive, "traced_read")
         if obs is not None:
             registry = obs.registry
             self._obs_slack = registry.histogram(
@@ -232,6 +253,43 @@ class RoundRobinService:
                 "session.blocks_delivered"
             )
             self._obs_skipped = registry.counter("session.blocks_skipped")
+            self._obs_misses = registry.counter("session.deadline_misses")
+            timeline = getattr(obs, "timeline", None)
+            if timeline is not None and timeline.enabled:
+                self._tl = timeline
+                self._tl_keep = timeline.keep_first
+                self._tl_every = timeline.every_kth
+            span_tracer = getattr(obs, "tracer", None)
+            if span_tracer is not None and span_tracer.enabled:
+                self._sp = span_tracer
+                self._sp_keep = span_tracer.block_keep_first
+                self._sp_every = span_tracer.block_every_kth
+            self._slo = getattr(obs, "slo", None)
+            if tracer is not None and hasattr(obs, "attach_sim_tracer"):
+                obs.attach_sim_tracer(self.tracer)
+        # Sampling prefilter for the per-block hot path: ``(keep_max,
+        # every_gcd)`` such that an index >= keep_max whose remainder mod
+        # every_gcd is nonzero is recorded by NO sampled surface — one
+        # cheap test rejects it without evaluating per-surface gates.
+        # None means some active surface records every block (no
+        # prefilter possible); (0, 0) means nothing records at all.
+        surfaces = []
+        if self._tl is not None:
+            surfaces.append((self._tl_keep, self._tl_every))
+        if self._sp is not None:
+            surfaces.append((self._sp_keep, self._sp_every))
+        if not surfaces:
+            self._sample_pre: Optional[Tuple[int, int]] = (0, 0)
+        elif all(keep is not None for keep, _every in surfaces):
+            gcd = 0
+            for _keep, every in surfaces:
+                if every is not None:
+                    gcd = math.gcd(gcd, every)
+            self._sample_pre = (
+                max(keep for keep, _every in surfaces), gcd
+            )
+        else:
+            self._sample_pre = None
 
     def _extra_work_pending(self) -> bool:
         """Hook for subclasses with non-playback work (e.g. recording).
@@ -250,6 +308,9 @@ class RoundRobinService:
         """Service all streams to completion; returns metrics per request."""
         time = 0.0
         active: List[StreamState] = list(initial)
+        if self._sp is not None:
+            for stream in active:
+                self._open_stream_span(stream, time)
         pending = sorted(admissions, key=lambda a: a.round_number)
         next_pending = 0
         round_number = 0
@@ -265,6 +326,8 @@ class RoundRobinService:
                     time, "admit", admitted.stream.request_id,
                     f"round {round_number}",
                 )
+                if self._sp is not None:
+                    self._open_stream_span(admitted.stream, time)
             # Compact finished streams out in place, preserving order.
             write = 0
             for stream in active:
@@ -307,6 +370,8 @@ class RoundRobinService:
                 time = wake
             round_number += 1
             self.rounds_run += 1
+            if self._slo is not None:
+                self._slo.on_round(time, round_number)
             if round_number > max_rounds:
                 raise ParameterError(
                     f"exceeded {max_rounds} rounds; k schedule likely "
@@ -315,7 +380,32 @@ class RoundRobinService:
         streams = list(initial) + [a.stream for a in admissions]
         if self.obs is not None:
             self._finalize_obs(streams)
+        if self._slo is not None:
+            self._slo.finalize(time)
         return {stream.request_id: stream.metrics for stream in streams}
+
+    def _open_stream_span(self, stream: StreamState, time: float) -> None:
+        """Start this stream's ``service.stream`` span.
+
+        Parents on the server-side root span when the tracer has one
+        bound for the request (or the stream carries a wire context);
+        otherwise the span roots a trace keyed by the request id — the
+        same trace id the server side would have produced.
+        """
+        tracer = self._sp
+        parent = stream.trace
+        if parent is None:
+            parent = tracer.context_for(stream.request_id)
+        span = tracer.start_span(
+            "service.stream",
+            time,
+            parent=parent,
+            session=stream.request_id,
+            attrs={"blocks": len(stream.fetches)},
+        )
+        if span is not None:
+            self._stream_spans[stream.request_id] = span
+            stream.trace = span
 
     def _finalize_obs(self, streams: Sequence[StreamState]) -> None:
         """Score the completed run into the observability surfaces.
@@ -325,23 +415,124 @@ class RoundRobinService:
         events and the deadline-slack histogram are recorded here, once
         per delivered block, with the post-rescore deadlines.
         """
-        timeline = self.obs.timeline
+        timeline = self._tl
+        keep = self._tl_keep
+        every = self._tl_every
+        tracer = self._sp
+        slack_observe = self._obs_slack.observe
         for stream in streams:
+            span = self._stream_spans.pop(stream.request_id, None)
             if stream.clock_start is None:
+                if tracer is not None and span is not None:
+                    tracer.end_span(span, span.start, status="unstarted")
                 continue
             elapsed = stream.clock_start
-            for index, (ready, deadline, duration) in enumerate(
-                stream.deliveries
-            ):
-                end = max(elapsed, ready) + duration
-                elapsed = end
-                if index in stream.skipped_indices:
-                    continue
-                timeline.record(
-                    end, stream.request_id, index, BlockStage.CONSUMED
+            skipped_indices = stream.skipped_indices
+            deliveries = stream.deliveries
+            if not skipped_indices and not stream.metrics.misses:
+                # Continuous stream: every block arrived at or before its
+                # deadline, so the playback cascade never stalled on a
+                # late block and index i finished playing at exactly
+                # ``deadline_i + duration_i`` — no O(n) fold needed, and
+                # the sampled walk touches only the sampled indexes.
+                if deliveries:
+                    _last_ready, last_deadline, last_dur = deliveries[-1]
+                    elapsed = last_deadline + last_dur
+                if keep is None:
+                    for index, (ready, deadline, duration) in enumerate(
+                        deliveries
+                    ):
+                        if timeline is not None:
+                            timeline.record(
+                                deadline + duration, stream.request_id,
+                                index, BlockStage.CONSUMED,
+                            )
+                        slack_observe(deadline - ready)
+                else:
+                    total = len(deliveries)
+                    for index in range(keep if keep < total else total):
+                        ready, deadline, duration = deliveries[index]
+                        if timeline is not None:
+                            timeline.record(
+                                deadline + duration, stream.request_id,
+                                index, BlockStage.CONSUMED,
+                            )
+                        slack_observe(deadline - ready)
+                    if every is not None:
+                        # Lattice resumes past the keep-first prefix (the
+                        # multiples below it were just recorded).
+                        for index in range(
+                            keep + (-keep % every), total, every
+                        ):
+                            ready, deadline, duration = deliveries[index]
+                            if timeline is not None:
+                                timeline.record(
+                                    deadline + duration,
+                                    stream.request_id,
+                                    index, BlockStage.CONSUMED,
+                                )
+                            slack_observe(deadline - ready)
+            elif keep is None:
+                # Unsampled: score every delivered block.
+                for index, (ready, deadline, duration) in enumerate(
+                    deliveries
+                ):
+                    end = (elapsed if elapsed > ready else ready) + duration
+                    elapsed = end
+                    if index in skipped_indices:
+                        continue
+                    if timeline is not None:
+                        timeline.record(
+                            end, stream.request_id, index,
+                            BlockStage.CONSUMED,
+                        )
+                    slack_observe(deadline - ready)
+            else:
+                # Sampled + stalled: fold the consumption cascade in
+                # plain segments between sampled indexes — the fold body
+                # touches three locals per block, and the sampling
+                # bookkeeping runs only at the sampled indexes.
+                total = len(deliveries)
+                sampled_indexes = list(
+                    range(keep if keep < total else total)
                 )
-                self._obs_slack.observe(deadline - ready)
-                self._obs_delivered.inc()
+                if every is not None:
+                    sampled_indexes.extend(
+                        range(keep + (-keep % every), total, every)
+                    )
+                pos = 0
+                for index in sampled_indexes:
+                    for ready, _deadline, duration in deliveries[
+                        pos:index
+                    ]:
+                        if ready > elapsed:
+                            elapsed = ready
+                        elapsed += duration
+                    ready, deadline, duration = deliveries[index]
+                    if ready > elapsed:
+                        elapsed = ready
+                    elapsed += duration
+                    pos = index + 1
+                    if index in skipped_indices:
+                        continue
+                    if timeline is not None:
+                        timeline.record(
+                            elapsed, stream.request_id, index,
+                            BlockStage.CONSUMED,
+                        )
+                    slack_observe(deadline - ready)
+                for ready, _deadline, duration in deliveries[pos:]:
+                    if ready > elapsed:
+                        elapsed = ready
+                    elapsed += duration
+            self._obs_delivered.inc(
+                len(deliveries) - len(skipped_indices)
+            )
+            if stream.metrics.misses:
+                self._obs_misses.inc(stream.metrics.misses)
+            if tracer is not None and span is not None:
+                status = "ok" if stream.metrics.continuous else "degraded"
+                tracer.end_span(span, elapsed, status=status)
         self.obs.registry.gauge("service.rounds_run").set(self.rounds_run)
 
     def _run_round(
@@ -353,9 +544,19 @@ class RoundRobinService:
     ) -> Tuple[float, bool]:
         progressed = False
         round_start = time
-        #: Tightest Eq.-11 budget seen this round: min over delivered
-        #: blocks of (stream's k × its block playback duration).
+        #: Tightest Eq.-11 budget among streams served this round:
+        #: min of (stream's k × its smallest positive block duration).
         budget = float("inf")
+        obs = self.obs
+        tl = self._tl
+        tl_keep = self._tl_keep
+        tl_every = self._tl_every
+        sp = self._sp
+        sp_keep = self._sp_keep
+        sp_every = self._sp_every
+        pre = self._sample_pre
+        if pre is not None:
+            pre_keep, pre_mod = pre
         for stream in active:
             if stream.finished:
                 continue
@@ -373,36 +574,94 @@ class RoundRobinService:
             while delivered < quota and not stream.finished:
                 index = stream.next_fetch
                 fetch = stream.fetches[index]
-                if self.obs is not None:
-                    self.obs.timeline.record(
-                        time, stream.request_id, index,
-                        BlockStage.ENQUEUED,
+                if pre is not None and index >= pre_keep and (
+                    pre_mod == 0 or index % pre_mod
+                ):
+                    # Fast reject: no sampled surface records this index.
+                    tl_on = False
+                    block_span = None
+                else:
+                    # Sampling gates, inlined: record when the index is
+                    # in the keep-first prefix or on the every-kth
+                    # lattice (or the surface is unsampled).
+                    tl_on = tl is not None and (
+                        tl_keep is None or index < tl_keep or (
+                            tl_every is not None and not index % tl_every
+                        )
                     )
-                    if fetch.slot is not None:
-                        self.obs.timeline.record(
+                    if tl_on:
+                        tl.record(
                             time, stream.request_id, index,
-                            BlockStage.READ_START,
+                            BlockStage.ENQUEUED,
+                        )
+                        if fetch.slot is not None:
+                            tl.record(
+                                time, stream.request_id, index,
+                                BlockStage.READ_START,
+                            )
+                    block_span = None
+                    if sp is not None and (
+                        sp_keep is None or index < sp_keep or (
+                            sp_every is not None
+                            and not index % sp_every
+                        )
+                    ):
+                        block_span = sp.start_span(
+                            "service.block",
+                            time,
+                            parent=stream.trace,
+                            session=stream.request_id,
+                            attrs={"block": index, "round": round_number},
                         )
                 skipped = False
                 if fetch.slot is not None:
-                    time, skipped = self._fetch_block(stream, fetch, time)
+                    if block_span is None:
+                        time, skipped = self._fetch_block(
+                            stream, fetch, time
+                        )
+                    else:
+                        time, skipped = self._fetch_block(
+                            stream, fetch, time, block_span
+                        )
                 self._deliver(stream, fetch, time, skipped=skipped)
                 stream.next_fetch += 1
                 delivered += 1
                 progressed = True
-                if self.obs is not None:
-                    self.obs.timeline.record(
+                if block_span is not None:
+                    sp.end_span(
+                        block_span, time,
+                        status="skipped" if skipped else "ok",
+                    )
+                if tl_on:
+                    tl.record(
                         time, stream.request_id, index,
                         BlockStage.READ_DONE,
                     )
                     if skipped:
-                        self.obs.timeline.record(
+                        tl.record(
                             time, stream.request_id, index,
                             BlockStage.SKIPPED,
                         )
-                        self._obs_skipped.inc()
-                    if fetch.duration > 0:
-                        budget = min(budget, stream_k * fetch.duration)
+                if skipped and obs is not None:
+                    self._obs_skipped.inc()
+            if obs is not None and delivered:
+                floor = stream._duration_floor
+                if floor is None:
+                    # The fetch plan is immutable, so the stream's
+                    # smallest positive block duration is computed once
+                    # and cached for every later round.
+                    durations = [f.duration for f in stream.fetches]
+                    floor = min(durations) if durations else 0.0
+                    if floor <= 0.0:
+                        floor = min(
+                            (d for d in durations if d > 0.0),
+                            default=0.0,
+                        )
+                    stream._duration_floor = floor
+                if floor > 0.0:
+                    stream_budget = stream_k * floor
+                    if stream_budget < budget:
+                        budget = stream_budget
             # Playback starts once the anti-jitter read-ahead — the first
             # k-block service, capped by what the display buffer can
             # actually hold — is on board.
@@ -429,11 +688,26 @@ class RoundRobinService:
         return time, progressed
 
     def _fetch_block(
-        self, stream: StreamState, fetch: BlockFetch, time: float
+        self,
+        stream: StreamState,
+        fetch: BlockFetch,
+        time: float,
+        span=None,
     ) -> Tuple[float, bool]:
-        """Read one block with fault recovery; returns (time, skipped)."""
+        """Read one block with fault recovery; returns (time, skipped).
+
+        With a sampled *span* (the block's ``service.block`` span) and a
+        trace-capable drive, the read itself is traced — a
+        ``cache.read``/``disk.access`` child per access, and
+        ``fault.retry``/``fault.skip`` spans on the recovery path.
+        """
         if self.drive.injector is None:
             # Healthy drive: the original zero-overhead path.
+            if span is not None and self._drive_traced:
+                elapsed = self.drive.traced_read(
+                    fetch.slot, fetch.bits, time, self._sp, span
+                )
+                return time + elapsed, False
             return time + self.drive.read_slot(fetch.slot, fetch.bits), False
         deadline = None
         if stream.clock_start is not None:
@@ -449,6 +723,8 @@ class RoundRobinService:
                 tracer=self.tracer,
                 subject=stream.request_id,
                 obs=self.obs,
+                span_tracer=self._sp if span is not None else None,
+                span=span,
             )
         except HeadFailureError as fault:
             self._note_head_failure(fault, time + fault.elapsed)

@@ -138,7 +138,9 @@ class TestSnapshotDiff:
         obs = Observability()
         obs.registry.counter("c").inc()
         snapshot = json.loads(obs.snapshot())
-        assert set(snapshot) == {"metrics", "timeline", "audit"}
+        assert set(snapshot) == {
+            "metrics", "timeline", "audit", "spans", "slo", "trace_health",
+        }
 
     def test_report_renders_all_sections(self):
         obs = Observability()

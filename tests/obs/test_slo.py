@@ -1,0 +1,203 @@
+"""Unit tests for the declarative SLO monitor.
+
+The monitor must evaluate objectives *read-only* (peeking never creates
+instruments), emit breach events only on satisfied/breached transitions,
+and serialize deterministically — including infinities from quantiles.
+"""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    DEADLINE_SLACK_BUCKETS,
+    DEFAULT_SLOS,
+    MetricsRegistry,
+    Slo,
+    SloMonitor,
+)
+
+pytestmark = pytest.mark.trace
+
+
+class TestSloDeclaration:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ParameterError):
+            Slo("bad", "continuity_ratio", "==", 1.0)
+
+    def test_rejects_unknown_scope(self):
+        with pytest.raises(ParameterError):
+            Slo("bad", "continuity_ratio", ">=", 1.0, "hourly")
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ParameterError):
+            Slo("bad", "cpu_load", "<=", 0.5)
+
+    def test_reject_rate_accepts_reason_suffix(self):
+        slo = Slo("typed", "reject_rate:capacity", "<=", 0.0)
+        assert slo.metric == "reject_rate:capacity"
+
+    def test_satisfied_by(self):
+        floor = Slo("floor", "continuity_ratio", ">=", 1.0)
+        ceil = Slo("ceil", "reject_rate", "<=", 0.0)
+        assert floor.satisfied_by(1.0)
+        assert not floor.satisfied_by(0.99)
+        assert ceil.satisfied_by(0.0)
+        assert not ceil.satisfied_by(0.01)
+
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        twice = (DEFAULT_SLOS[0], DEFAULT_SLOS[0])
+        with pytest.raises(ParameterError):
+            SloMonitor(registry, twice)
+
+    def test_default_set_names(self):
+        assert [slo.name for slo in DEFAULT_SLOS] == [
+            "continuity",
+            "slack-p95",
+            "slack-p99",
+            "cache-warm",
+            "no-rejects",
+            "no-capacity-rejects",
+            "no-k-bound-rejects",
+        ]
+
+
+class TestResolution:
+    def test_no_data_is_none_and_peeks_do_not_create(self):
+        registry = MetricsRegistry()
+        monitor = SloMonitor(registry)
+        for slo in DEFAULT_SLOS:
+            assert monitor.value_of(slo.metric) is None
+        # Evaluation on an empty registry registers nothing.
+        monitor.on_round(1.0, 1)
+        monitor.finalize(2.0)
+        assert registry.snapshot_dict() == MetricsRegistry().snapshot_dict()
+        assert monitor.events == []
+
+    def test_continuity_ratio(self):
+        registry = MetricsRegistry()
+        monitor = SloMonitor(registry)
+        registry.counter("session.blocks_delivered").inc(100)
+        assert monitor.value_of("continuity_ratio") == 1.0
+        registry.counter("session.deadline_misses").inc(25)
+        assert monitor.value_of("continuity_ratio") == 0.75
+
+    def test_cache_hit_ratio(self):
+        registry = MetricsRegistry()
+        monitor = SloMonitor(registry)
+        registry.counter("cache.hits").inc(3)
+        registry.counter("cache.misses").inc(1)
+        assert monitor.value_of("cache_hit_ratio") == 0.75
+
+    def test_reject_rate_total_and_typed(self):
+        registry = MetricsRegistry()
+        monitor = SloMonitor(registry)
+        registry.counter("server.sessions_opened").inc(6)
+        registry.counter("server.sessions_rejected").inc(2)
+        registry.counter("server.reject.capacity").inc(2)
+        assert monitor.value_of("reject_rate") == 0.25
+        assert monitor.value_of("reject_rate:capacity") == 0.25
+        assert monitor.value_of("reject_rate:k_bound") == 0.0
+
+    def test_slack_quantiles_use_histogram(self):
+        registry = MetricsRegistry()
+        monitor = SloMonitor(registry)
+        hist = registry.histogram(
+            "session.deadline_slack_s", DEADLINE_SLACK_BUCKETS
+        )
+        for _ in range(99):
+            hist.observe(0.25)
+        hist.observe(-0.25)
+        p95 = monitor.value_of("deadline_slack_p95_s")
+        p99 = monitor.value_of("deadline_slack_p99_s")
+        assert p95 is not None and p95 > 0.0
+        assert p99 is not None and p99 < 0.0
+
+    def test_unknown_metric_raises(self):
+        monitor = SloMonitor(MetricsRegistry())
+        with pytest.raises(ParameterError):
+            monitor.value_of("made_up_metric")
+
+
+class TestBreachTransitions:
+    def _monitor(self):
+        registry = MetricsRegistry()
+        slo = Slo("no-rejects", "reject_rate", "<=", 0.0, "round")
+        return registry, SloMonitor(registry, (slo,))
+
+    def test_one_event_per_transition(self):
+        registry, monitor = self._monitor()
+        registry.counter("server.sessions_opened").inc(4)
+        assert monitor.on_round(1.0, 1) == []
+        registry.counter("server.sessions_rejected").inc()
+        breach = monitor.on_round(2.0, 2)
+        assert len(breach) == 1
+        assert breach[0]["to"] == "breach"
+        assert breach[0]["round"] == 2
+        assert breach[0]["value"] == 0.2
+        # Still breached: no new event while the state holds.
+        assert monitor.on_round(3.0, 3) == []
+        # Recovery emits exactly one "ok" transition.
+        registry.counter("server.sessions_opened").inc(995)
+        registry.counter("server.sessions_rejected").inc(0)
+        assert monitor.value_of("reject_rate") == 0.001
+        recovered_slo = Slo("loose", "reject_rate", "<=", 0.01, "round")
+        loose = SloMonitor(registry, (recovered_slo,))
+        assert loose.on_round(4.0, 4) == []
+
+    def test_recovery_event(self):
+        registry = MetricsRegistry()
+        slo = Slo("warm", "cache_hit_ratio", ">=", 0.5, "round")
+        monitor = SloMonitor(registry, (slo,))
+        registry.counter("cache.hits").inc(1)
+        registry.counter("cache.misses").inc(9)
+        assert monitor.on_round(1.0, 1)[0]["to"] == "breach"
+        registry.counter("cache.hits").inc(90)
+        events = monitor.on_round(2.0, 2)
+        assert [e["to"] for e in events] == ["ok"]
+        assert monitor.summary_dict()["breached_now"] == []
+
+    def test_finalize_evaluates_both_scopes(self):
+        registry = MetricsRegistry()
+        slos = (
+            Slo("continuity", "continuity_ratio", ">=", 1.0, "final"),
+            Slo("no-rejects", "reject_rate", "<=", 0.0, "round"),
+        )
+        monitor = SloMonitor(registry, slos)
+        registry.counter("session.blocks_delivered").inc(10)
+        registry.counter("session.deadline_misses").inc(1)
+        registry.counter("server.sessions_opened").inc(1)
+        registry.counter("server.sessions_rejected").inc(1)
+        events = monitor.finalize(9.0)
+        assert sorted(e["slo"] for e in events) == [
+            "continuity", "no-rejects",
+        ]
+        # Final-scope breaches carry no round number.
+        assert all(e["round"] is None for e in events)
+
+
+class TestSummary:
+    def test_summary_shape_and_determinism(self):
+        registry = MetricsRegistry()
+        monitor = SloMonitor(registry)
+        registry.counter("session.blocks_delivered").inc(10)
+        registry.counter("session.deadline_misses").inc(10)
+        monitor.finalize(5.0)
+        summary = monitor.summary_dict()
+        assert set(summary) == {
+            "objectives", "breach_events", "breached_now",
+        }
+        assert list(summary["objectives"]) == [s.name for s in DEFAULT_SLOS]
+        continuity = summary["objectives"]["continuity"]
+        assert continuity["satisfied"] is False
+        assert continuity["value"] == 0.0
+        # Untouched objectives report "no data".
+        assert summary["objectives"]["cache-warm"]["value"] is None
+        assert summary["objectives"]["cache-warm"]["satisfied"] is None
+        assert summary["breached_now"] == ["continuity"]
+
+    def test_json_value_maps_infinities(self):
+        assert SloMonitor._json_value(None) is None
+        assert SloMonitor._json_value(1.5) == 1.5
+        assert SloMonitor._json_value(float("inf")) == "inf"
+        assert SloMonitor._json_value(float("-inf")) == "-inf"

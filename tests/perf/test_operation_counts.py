@@ -63,6 +63,67 @@ def _service_run(streams=8, blocks=60):
     return metrics, streams * blocks
 
 
+class TestObsOffFastPath:
+    """With observability off, the service loop does zero obs work.
+
+    The obs-off configuration (``obs=None``) must not construct spans,
+    timeline events, or metric instruments anywhere on the hot path —
+    not merely discard them.  Counting proxies on the class methods pin
+    that the calls never happen, so the fast path stays allocation-free
+    regardless of how the gated branches evolve.
+    """
+
+    def test_obs_off_run_performs_no_obs_operations(self, monkeypatch):
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.timeline import SessionTimeline
+        from repro.obs.tracing import SpanTracer
+
+        calls = {"span": 0, "timeline": 0, "counter": 0, "histogram": 0}
+
+        def counting(kind, inner):
+            def wrapper(self, *args, **kwargs):
+                calls[kind] += 1
+                return inner(self, *args, **kwargs)
+            return wrapper
+
+        monkeypatch.setattr(
+            SpanTracer, "start_span",
+            counting("span", SpanTracer.start_span),
+        )
+        monkeypatch.setattr(
+            SessionTimeline, "record",
+            counting("timeline", SessionTimeline.record),
+        )
+        monkeypatch.setattr(
+            MetricsRegistry, "counter",
+            counting("counter", MetricsRegistry.counter),
+        )
+        monkeypatch.setattr(
+            MetricsRegistry, "histogram",
+            counting("histogram", MetricsRegistry.histogram),
+        )
+
+        metrics, total_blocks = _service_run()
+        assert sum(m.blocks_delivered for m in metrics.values()) == (
+            total_blocks
+        )
+        assert calls == {
+            "span": 0, "timeline": 0, "counter": 0, "histogram": 0,
+        }, f"obs-off service run still did obs work: {calls}"
+
+    def test_obs_off_streams_carry_no_trace_state(self):
+        scenario = ScaleScenario(
+            name="no-trace", streams=3, blocks_per_stream=20,
+            k=4, buffer_capacity=6, seed=1,
+        )
+        drive = build_drive()
+        initial, _ = build_streams(scenario, drive)
+        service = RoundRobinService(drive, lambda _r, _n: scenario.k)
+        service.run(initial)
+        for stream in initial:
+            assert stream.trace is None
+
+
 class TestConsumptionCursor:
     def test_service_run_never_rescans(self, monkeypatch):
         """The monotone service loop stays on the O(1) cursor path."""

@@ -119,7 +119,9 @@ class TestParser:
             a for a in parser._actions
             if isinstance(a, type(parser._subparsers._group_actions[0]))
         )
-        for name in ("demo", "obs-report", "perf-sweep", "serve"):
+        for name in (
+            "demo", "obs-report", "perf-sweep", "serve", "trace-export",
+        ):
             sub = subparsers.choices[name]
             options = {
                 option
@@ -128,6 +130,42 @@ class TestParser:
             }
             assert "--seed" in options, name
             assert "--json" in options, name
+
+
+class TestTraceExport:
+    def test_json_output_is_a_chrome_trace(self, capsys):
+        assert main([
+            "trace-export", "--scenario", "steady", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["clock"] == "simulated"
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_export_is_deterministic(self, capsys):
+        payloads = []
+        for _ in range(2):
+            assert main([
+                "trace-export", "--scenario", "steady", "--json",
+            ]) == 0
+            payloads.append(capsys.readouterr().out)
+        assert payloads[0] == payloads[1]
+
+    def test_out_writes_perfetto_loadable_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main([
+            "trace-export", "--scenario", "steady",
+            "--out", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {target}" in out
+        document = json.loads(target.read_text())
+        assert document["traceEvents"]
+
+    def test_summary_mentions_viewer_without_out(self, capsys):
+        assert main(["trace-export", "--scenario", "steady"]) == 0
+        assert "perfetto" in capsys.readouterr().out
 
 
 class TestExtensionExperimentsViaCli:

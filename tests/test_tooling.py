@@ -92,6 +92,18 @@ class TestBenchPerfSchema:
         )
         assert compare["sessions"] >= compare["strands"] >= 1
         assert compare["wall_time_s"] >= 0
+        overhead = record["obs_overhead"]
+        assert {
+            "streams", "blocks_per_stream", "repeats", "wall_off_s",
+            "wall_obs_s", "ratio", "spans", "spans_dropped",
+            "budget_ratio", "within_budget",
+        } <= set(overhead), overhead
+        assert overhead["spans"] > 0
+        assert overhead["ratio"] > 0
+        if record["mode"] == "full":
+            # The tracing acceptance budget only binds at full scale;
+            # smoke walls are sub-millisecond noise.
+            assert overhead["within_budget"] is True, overhead
 
     def test_smoke_run_emits_schema_valid_bench_perf_json(self):
         result = _run_pytest(
@@ -134,7 +146,7 @@ class TestMarkers:
     def test_markers_are_registered(self):
         config = tomllib.loads((ROOT / "pyproject.toml").read_text())
         markers = config["tool"]["pytest"]["ini_options"]["markers"]
-        for name in ("chaos", "golden", "perf", "server"):
+        for name in ("chaos", "golden", "perf", "server", "trace"):
             assert any(m.startswith(f"{name}:") for m in markers), name
 
     def test_server_marker_selects_server_tests(self):
@@ -145,6 +157,15 @@ class TestMarkers:
         assert "test_media_server" in result.stdout
         assert "test_batch_admission" in result.stdout
         assert "test_cache_equivalence" in result.stdout
+
+    def test_trace_marker_selects_tracing_tests(self):
+        result = _run_pytest(
+            ["tests", "-m", "trace", "--collect-only", "-q"]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "test_tracing" in result.stdout
+        assert "test_slo" in result.stdout
+        assert "test_trace_integration" in result.stdout
 
     def test_perf_marker_selects_perf_tests(self):
         result = _run_pytest(
