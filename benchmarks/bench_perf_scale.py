@@ -6,7 +6,11 @@ scores the §3.4 round loop at 10/100/1000 concurrent streams (1000-block
 strands), then runs a seeds × arrival-mixes × drive-configs sweep through
 the :mod:`repro.perf` parallel runner.  The scale points land in
 ``BENCH_PERF.json`` at the repo root (``BENCH_PERF.smoke.json`` under
-``--smoke``, so CI never clobbers the committed trajectory).
+``--smoke``, so CI never clobbers the committed trajectory), and the
+same points are re-emitted as an experiment-matrix manifest
+(``BENCH_PERF.matrix.json``) so the bench trajectory and the
+``repro expt gate`` regression machinery speak one schema — see
+:mod:`repro.expt` and docs/EXPERIMENTS.md.
 
 The trajectory to watch: ``blocks_per_second`` should stay flat across
 stream count and strand length — the incremental consumption cursor and
@@ -19,6 +23,7 @@ from pathlib import Path
 
 from conftest import emit, param, pedantic_args, smoke_mode
 
+from repro.expt import build_manifest, cell_from_scale_result, stable_json
 from repro.perf import (
     run_obs_overhead_scenario,
     run_scale_scenario,
@@ -57,6 +62,14 @@ def _scenario(streams: int) -> ScaleScenario:
 
 def _bench_path() -> Path:
     name = "BENCH_PERF.smoke.json" if smoke_mode() else "BENCH_PERF.json"
+    return ROOT / name
+
+
+def _matrix_path() -> Path:
+    name = (
+        "BENCH_PERF.matrix.smoke.json" if smoke_mode()
+        else "BENCH_PERF.matrix.json"
+    )
     return ROOT / name
 
 
@@ -121,8 +134,24 @@ def test_perf_scale_points(benchmark):
     path = _bench_path()
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
+    # The same trajectory as an expt-matrix manifest, so the scale
+    # points can feed `repro expt gate`/`diff` like any matrix run.
+    manifest = build_manifest(
+        name=f"bench-perf-scale-{record['mode']}",
+        cell_records=[
+            cell_from_scale_result(point)
+            for point in points + list(sweep.results)
+        ],
+        workers=sweep.workers,
+        parallel=sweep.parallel,
+        wall_time_s=sweep.wall_time_s,
+    )
+    matrix_path = _matrix_path()
+    matrix_path.write_text(stable_json(manifest))
+
     table_lines = [
-        f"perf scale trajectory ({record['mode']}) -> {path.name}"
+        f"perf scale trajectory ({record['mode']}) -> {path.name}, "
+        f"{matrix_path.name}"
     ]
     for point in points:
         table_lines.append(

@@ -27,6 +27,13 @@ Commands
     trace as Chrome trace-event JSON, loadable in Perfetto
     (https://ui.perfetto.dev) or ``chrome://tracing`` — see
     :meth:`repro.obs.SpanTracer.to_chrome_trace`.
+``expt {run,gate,diff}``
+    The experiment-matrix harness (:mod:`repro.expt`): ``run`` expands a
+    declarative config (``--smoke`` for the builtin CI matrix) and
+    writes a structured results directory; ``gate`` compares a results
+    manifest against the committed baseline with per-metric tolerances
+    and exits non-zero on regression; ``diff`` prints per-cell metric
+    deltas between two manifests.
 
 Every scenario-running subcommand (``demo``, ``obs-report``,
 ``perf-sweep``, ``serve``, ``trace-export``) accepts ``--seed`` and
@@ -386,6 +393,137 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default artifact locations for the ``expt`` command (cwd-relative,
+#: i.e. the repo root in the documented workflow).
+EXPT_BASELINE_PATH = "tests/baselines/matrix_baseline.json"
+EXPT_RESULTS_ROOT = "results"
+
+
+def _load_manifest_file(path: str) -> dict:
+    import json
+
+    from repro.expt import validate_manifest
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"expt: manifest {path!r} not found; run "
+            "`repro expt run --smoke` first (or pass --manifest)"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"expt: manifest {path!r} is not valid JSON: {error}"
+        ) from None
+    return validate_manifest(manifest)
+
+
+def _cmd_expt_run(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.expt import load_config, run_matrix, smoke_config
+    from repro.expt.runner import stable_json, write_results
+
+    if args.smoke and args.config:
+        raise SystemExit("expt run: pass either --smoke or --config")
+    if args.config:
+        config = load_config(args.config)
+    elif args.smoke:
+        config = smoke_config()
+    else:
+        raise SystemExit(
+            "expt run: pass --smoke or --config experiments/<name>.json"
+        )
+    report = run_matrix(config, workers=args.workers)
+    out_dir = args.out or str(Path(EXPT_RESULTS_ROOT) / config.name)
+    manifest_path = write_results(report, out_dir)
+    if args.regen_baseline:
+        baseline_path = Path(args.baseline)
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(stable_json(report.manifest_dict()))
+    if args.json:
+        print(json.dumps(
+            report.manifest_dict(), indent=2, sort_keys=True
+        ))
+    else:
+        print(
+            f"expt run '{config.name}' ({config.hash[:19]}…): "
+            f"{len(report.cells)} cells, {report.workers} worker(s), "
+            f"{'parallel' if report.parallel else 'serial'}, "
+            f"{format_seconds(report.wall_time_s)} wall"
+        )
+        for cell in report.cells:
+            metrics = {
+                key: value
+                for key, value in cell.metrics.items()
+                if value is not None
+            }
+            print(f"  {cell.cell_id}: {metrics}")
+        print(f"wrote {manifest_path}")
+        if args.regen_baseline:
+            print(f"regenerated baseline {args.baseline}")
+    return 0
+
+
+def _cmd_expt_gate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.expt import gate_manifest
+
+    manifest = _load_manifest_file(args.manifest)
+    try:
+        baseline = _load_manifest_file(args.baseline)
+    except SystemExit:
+        raise SystemExit(
+            f"expt: baseline {args.baseline!r} not found or invalid; "
+            "regenerate with `repro expt run --smoke --regen-baseline`"
+        ) from None
+    report = gate_manifest(
+        manifest, baseline, allow_extra_cells=args.allow_extra_cells
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        if args.verbose:
+            print(report.table().render())
+        print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_expt_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.expt import diff_manifests
+
+    manifest = _load_manifest_file(args.manifest)
+    baseline = _load_manifest_file(args.baseline)
+    delta = diff_manifests(manifest, baseline)
+    if args.json:
+        print(json.dumps(delta, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"expt diff: '{delta['manifest']}' vs baseline "
+        f"'{delta['baseline']}'"
+    )
+    for cell_id, entry in delta["cells"].items():
+        if entry["status"] != "common":
+            print(f"  {cell_id}: {entry['status']}")
+            continue
+        for metric, change in entry["deltas"].items():
+            relative = change.get("relative")
+            suffix = (
+                f" ({relative * 100:+.1f}%)" if relative is not None
+                else ""
+            )
+            print(
+                f"  {cell_id} :: {metric}: "
+                f"{change['baseline']} -> {change['observed']}{suffix}"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -556,6 +694,94 @@ def build_parser() -> argparse.ArgumentParser:
         json_help="print the trace-event JSON to stdout",
     )
     trace_export.set_defaults(handler=_cmd_trace_export)
+
+    expt = commands.add_parser(
+        "expt",
+        help="experiment-matrix harness: run, gate, diff",
+    )
+    expt_commands = expt.add_subparsers(dest="expt_command", required=True)
+
+    expt_run = expt_commands.add_parser(
+        "run", help="expand a matrix config and run every cell"
+    )
+    expt_run.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="experiment config JSON (see experiments/)",
+    )
+    expt_run.add_argument(
+        "--smoke", action="store_true",
+        help="run the builtin tiny CI matrix",
+    )
+    expt_run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help=f"results directory (default: {EXPT_RESULTS_ROOT}/<name>)",
+    )
+    expt_run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: min(cells, cpu count))",
+    )
+    expt_run.add_argument(
+        "--regen-baseline", action="store_true",
+        help="also rewrite the committed gate baseline from this run",
+    )
+    expt_run.add_argument(
+        "--baseline", default=EXPT_BASELINE_PATH, metavar="FILE",
+        help="baseline path used by --regen-baseline "
+             f"(default: {EXPT_BASELINE_PATH})",
+    )
+    expt_run.add_argument(
+        "--json", action="store_true",
+        help="print the manifest JSON instead of the summary",
+    )
+    expt_run.set_defaults(handler=_cmd_expt_run)
+
+    expt_gate = expt_commands.add_parser(
+        "gate",
+        help="compare a results manifest against the committed baseline",
+    )
+    expt_gate.add_argument(
+        "--manifest", metavar="FILE",
+        default=f"{EXPT_RESULTS_ROOT}/smoke/matrix.json",
+        help="results manifest to judge "
+             f"(default: {EXPT_RESULTS_ROOT}/smoke/matrix.json)",
+    )
+    expt_gate.add_argument(
+        "--baseline", default=EXPT_BASELINE_PATH, metavar="FILE",
+        help=f"baseline manifest (default: {EXPT_BASELINE_PATH})",
+    )
+    expt_gate.add_argument(
+        "--allow-extra-cells", action="store_true",
+        help="treat manifest cells absent from the baseline as notes, "
+             "not failures",
+    )
+    expt_gate.add_argument(
+        "--verbose", action="store_true",
+        help="print the full per-check verdict table",
+    )
+    expt_gate.add_argument(
+        "--json", action="store_true",
+        help="print the verdicts as JSON",
+    )
+    expt_gate.set_defaults(handler=_cmd_expt_gate)
+
+    expt_diff = expt_commands.add_parser(
+        "diff", help="per-cell metric deltas between two manifests"
+    )
+    expt_diff.add_argument(
+        "--manifest", metavar="FILE",
+        default=f"{EXPT_RESULTS_ROOT}/smoke/matrix.json",
+        help="results manifest "
+             f"(default: {EXPT_RESULTS_ROOT}/smoke/matrix.json)",
+    )
+    expt_diff.add_argument(
+        "--baseline", default=EXPT_BASELINE_PATH, metavar="FILE",
+        help=f"manifest to diff against (default: {EXPT_BASELINE_PATH})",
+    )
+    expt_diff.add_argument(
+        "--json", action="store_true",
+        help="print the deltas as JSON",
+    )
+    expt_diff.set_defaults(handler=_cmd_expt_diff)
     return parser
 
 

@@ -1,0 +1,497 @@
+"""Experiment-matrix runner: fan cells over workers, write results dirs.
+
+:func:`run_matrix` expands an :class:`~repro.expt.config.ExperimentConfig`
+and maps :func:`run_cell` over the cells through the same ProcessPool
+fan-out the perf sweep uses (:func:`repro.perf.sweep.map_parallel`).
+The output is a structured results directory::
+
+    <out_dir>/
+      matrix.json          # the manifest: config, hash, every cell
+      cells/<cell_id>.json # one file per cell, stable-sorted JSON
+
+Every JSON artifact is written with sorted keys, two-space indent, and a
+trailing newline (:func:`stable_json`).  A cell record separates its
+**metrics** — simulation outcomes that are byte-identical across runs
+with the same seed (delivered blocks, misses, continuity/reject/cache
+ratios, SLO breaches) — from its **perf** section (wall seconds and
+blocks per wall-second), which is honest about being host- and
+run-dependent.  The gate (:mod:`repro.expt.gate`) reads both; regression
+tests pin only the metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.expt.config import (
+    CONFIG_SCHEMA_VERSION,
+    ExperimentConfig,
+    MatrixCell,
+)
+from repro.perf.scenarios import (
+    ScaleResult,
+    ScaleScenario,
+    run_obs_overhead_scenario,
+    run_scale_scenario,
+)
+from repro.perf.sweep import map_parallel
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "CellResult",
+    "MatrixReport",
+    "cell_from_scale_result",
+    "run_cell",
+    "run_matrix",
+    "stable_json",
+    "validate_manifest",
+    "write_results",
+]
+
+#: Version of the manifest/cell record shape; bump on changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Metric keys every cell record carries (None when not applicable).
+METRIC_KEYS = (
+    "blocks_delivered",
+    "misses",
+    "rounds",
+    "continuity_ratio",
+    "reject_rate",
+    "cache_hit_ratio",
+    "slo_breaches",
+    "slo_breach_events",
+)
+
+#: Keys of the timing-dependent perf section.  ``obs_overhead_ratio``
+#: lives here (not in metrics) because it is a wall-clock ratio: gated
+#: by an absolute ceiling, but never byte-stable.
+PERF_KEYS = ("wall_time_s", "blocks_per_second")
+
+
+def stable_json(value: object) -> str:
+    """Sorted-key, indented JSON with a trailing newline.
+
+    The one serialization every expt artifact uses, so identical data is
+    identical bytes — the byte-stability contract the regression tests
+    and the golden-file workflow rely on.
+    """
+    import json
+
+    return json.dumps(value, sort_keys=True, indent=2) + "\n"
+
+
+def _ratio(numerator: float, denominator: float) -> Optional[float]:
+    """A guarded ratio: None instead of dividing by zero or NaN."""
+    if denominator != denominator or numerator != numerator:
+        return None
+    if denominator == 0:
+        return None
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed cell: its spec, deterministic metrics, and timings."""
+
+    cell_id: str
+    kind: str
+    golden: bool
+    spec: Dict[str, object]
+    metrics: Dict[str, Optional[float]]
+    perf: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (the per-cell file and manifest shape)."""
+        return {
+            "cell_id": self.cell_id,
+            "kind": self.kind,
+            "golden": self.golden,
+            "spec": dict(self.spec),
+            "metrics": dict(self.metrics),
+            "perf": dict(self.perf),
+        }
+
+
+def _metrics_template() -> Dict[str, Optional[float]]:
+    return {key: None for key in METRIC_KEYS}
+
+
+def _run_scale_cell(cell: MatrixCell) -> CellResult:
+    spec = cell.spec_dict()
+    scenario = ScaleScenario(
+        name=cell.cell_id,
+        streams=spec["streams"],
+        blocks_per_stream=spec["blocks_per_stream"],
+        k=spec["k"],
+        buffer_capacity=spec["buffer_capacity"],
+        seed=spec["seed"],
+        drive=spec["drive"],
+        arrivals=spec["arrivals"],
+    )
+    result = run_scale_scenario(scenario)
+    metrics = _metrics_template()
+    metrics.update(
+        blocks_delivered=result.blocks_delivered,
+        misses=result.misses,
+        rounds=result.rounds,
+        continuity_ratio=_ratio(
+            result.blocks_delivered - result.misses,
+            result.blocks_delivered,
+        ),
+        reject_rate=0.0,
+    )
+    return CellResult(
+        cell_id=cell.cell_id,
+        kind=cell.kind,
+        golden=cell.golden,
+        spec=spec,
+        metrics=metrics,
+        perf={
+            "wall_time_s": result.wall_time_s,
+            "blocks_per_second": result.blocks_per_second,
+        },
+    )
+
+
+def _run_server_cell(cell: MatrixCell) -> CellResult:
+    from repro.obs.observer import Observability
+    from repro.server.scenarios import run_server_hot_scenario
+
+    spec = cell.spec_dict()
+    obs = Observability.for_scale(seed=spec["seed"])
+    started = time.perf_counter()
+    run = run_server_hot_scenario(
+        sessions=spec["sessions"],
+        strands=spec["strands"],
+        seconds=spec["seconds"],
+        seed=spec["seed"],
+        cache_blocks=spec["cache_blocks"],
+        batch_window=(
+            spec["batch_window"] if spec["batching"] else 0.0
+        ),
+        obs=obs,
+    )
+    wall = time.perf_counter() - started
+    final = run.final
+    delivered = sum(s.blocks_delivered for s in final.statuses)
+    hits = final.cache_stats.get("hits", 0)
+    cache_misses = final.cache_stats.get("misses", 0)
+    # Unresolved breaches (still bad when the run ends) gate golden
+    # cells; transition events are recorded separately because healthy
+    # runs breach transiently (the cache-warm SLO always starts cold).
+    breaches = breach_events = 0
+    if obs.slo is not None:
+        summary = obs.slo.summary_dict()
+        breaches = len(summary["breached_now"])
+        breach_events = sum(
+            1
+            for event in summary["breach_events"]
+            if event["to"] == "breach"
+        )
+    metrics = _metrics_template()
+    metrics.update(
+        blocks_delivered=delivered,
+        misses=final.total_misses,
+        rounds=final.rounds,
+        continuity_ratio=_ratio(
+            final.continuous_sessions, final.admitted
+        ),
+        reject_rate=_ratio(len(final.rejects), len(final.statuses)),
+        cache_hit_ratio=_ratio(hits, hits + cache_misses),
+        slo_breaches=breaches,
+        slo_breach_events=breach_events,
+    )
+    safe_wall = max(wall, 1e-9)
+    return CellResult(
+        cell_id=cell.cell_id,
+        kind=cell.kind,
+        golden=cell.golden,
+        spec=spec,
+        metrics=metrics,
+        perf={
+            "wall_time_s": wall,
+            "blocks_per_second": delivered / safe_wall,
+        },
+    )
+
+
+def _run_obs_overhead_cell(cell: MatrixCell) -> CellResult:
+    spec = cell.spec_dict()
+    result = run_obs_overhead_scenario(
+        streams=spec["streams"],
+        blocks_per_stream=spec["blocks_per_stream"],
+        repeats=spec["repeats"],
+        seed=spec["seed"],
+    )
+    metrics = _metrics_template()
+    metrics.update(
+        blocks_delivered=spec["streams"] * spec["blocks_per_stream"],
+    )
+    return CellResult(
+        cell_id=cell.cell_id,
+        kind=cell.kind,
+        golden=cell.golden,
+        spec=spec,
+        metrics=metrics,
+        perf={
+            "wall_time_s": result.wall_obs_s,
+            "blocks_per_second": _ratio(
+                spec["streams"] * spec["blocks_per_stream"],
+                result.wall_obs_s,
+            ) or 0.0,
+            "obs_overhead_ratio": result.ratio,
+        },
+    )
+
+
+def run_cell(cell: MatrixCell) -> CellResult:
+    """Execute one matrix cell (module-level, so workers can pickle it)."""
+    if cell.kind == "scale":
+        return _run_scale_cell(cell)
+    if cell.kind == "server-hot":
+        return _run_server_cell(cell)
+    if cell.kind == "obs-overhead":
+        return _run_obs_overhead_cell(cell)
+    raise ParameterError(f"unknown cell kind {cell.kind!r}")
+
+
+@dataclass(frozen=True)
+class MatrixReport:
+    """A completed matrix run: the config plus every cell result."""
+
+    config: ExperimentConfig
+    cells: Tuple[CellResult, ...]
+    workers: int
+    parallel: bool
+    wall_time_s: float
+
+    def manifest_dict(self) -> Dict[str, object]:
+        """The ``matrix.json`` manifest this run serializes to."""
+        return {
+            "kind": "expt_matrix",
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "name": self.config.name,
+            "config": self.config.to_dict(),
+            "config_hash": self.config.hash,
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "wall_time_s": self.wall_time_s,
+            "cells": {
+                cell.cell_id: cell.to_dict() for cell in self.cells
+            },
+        }
+
+
+def run_matrix(
+    config: ExperimentConfig,
+    workers: Optional[int] = None,
+) -> MatrixReport:
+    """Expand *config* and run every cell, fanning across processes."""
+    cells = config.expand()
+    started = time.perf_counter()
+    results, used_workers, parallel = map_parallel(
+        run_cell, cells, workers
+    )
+    return MatrixReport(
+        config=config,
+        cells=tuple(results),
+        workers=used_workers,
+        parallel=parallel,
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+def write_results(report: MatrixReport, out_dir) -> str:
+    """Write the manifest + per-cell files; returns the manifest path."""
+    from pathlib import Path
+
+    out = Path(out_dir)
+    cells_dir = out / "cells"
+    cells_dir.mkdir(parents=True, exist_ok=True)
+    for cell in report.cells:
+        (cells_dir / f"{cell.cell_id}.json").write_text(
+            stable_json(cell.to_dict())
+        )
+    manifest_path = out / "matrix.json"
+    manifest_path.write_text(stable_json(report.manifest_dict()))
+    return str(manifest_path)
+
+
+def cell_from_scale_result(
+    result: ScaleResult, golden: bool = False
+) -> Dict[str, object]:
+    """Bridge a perf-sweep :class:`ScaleResult` into the cell shape.
+
+    ``benchmarks/bench_perf_scale.py`` uses this to emit its scale
+    points as a matrix manifest alongside BENCH_PERF.json, so the bench
+    trajectory and the experiment gate speak one schema.
+    """
+    metrics = _metrics_template()
+    metrics.update(
+        blocks_delivered=result.blocks_delivered,
+        misses=result.misses,
+        rounds=result.rounds,
+        continuity_ratio=_ratio(
+            result.blocks_delivered - result.misses,
+            result.blocks_delivered,
+        ),
+        reject_rate=0.0,
+    )
+    return CellResult(
+        cell_id=result.name,
+        kind="scale",
+        golden=golden,
+        spec={
+            "arrivals": result.arrivals,
+            "drive": result.drive,
+            "blocks_per_stream": result.blocks_per_stream,
+            "seed": result.seed,
+            "streams": result.streams,
+        },
+        metrics=metrics,
+        perf={
+            "wall_time_s": result.wall_time_s,
+            "blocks_per_second": result.blocks_per_second,
+        },
+    ).to_dict()
+
+
+def build_manifest(
+    name: str,
+    cell_records: Sequence[Dict[str, object]],
+    config: Optional[ExperimentConfig] = None,
+    workers: int = 1,
+    parallel: bool = False,
+    wall_time_s: float = 0.0,
+) -> Dict[str, object]:
+    """Assemble a manifest dict from already-built cell records."""
+    if config is not None:
+        config_dict = config.to_dict()
+        digest = config.hash
+    else:
+        from repro.expt.config import config_hash
+
+        config_dict = {
+            "schema_version": CONFIG_SCHEMA_VERSION,
+            "name": name,
+            "description": "external cell records (no declarative config)",
+            "axes": {},
+            "workloads": [],
+            "tolerances": {},
+        }
+        digest = config_hash(config_dict)
+    ids = [record["cell_id"] for record in cell_records]
+    duplicates = sorted({i for i in ids if ids.count(i) > 1})
+    if duplicates:
+        raise ParameterError(
+            "duplicate cell id(s) in manifest records: "
+            f"{', '.join(duplicates)}"
+        )
+    manifest = {
+        "kind": "expt_matrix",
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "name": name,
+        "config": config_dict,
+        "config_hash": digest,
+        "workers": workers,
+        "parallel": parallel,
+        "wall_time_s": wall_time_s,
+        "cells": {
+            record["cell_id"]: dict(record) for record in cell_records
+        },
+    }
+    validate_manifest(manifest)
+    return manifest
+
+
+def validate_manifest(manifest: object) -> Dict[str, object]:
+    """Check a manifest against the schema; returns it or raises.
+
+    Raises :class:`~repro.errors.ParameterError` with a message naming
+    the offending key, so CI failures read as schema diagnoses rather
+    than KeyErrors.
+    """
+
+    def fail(message: str) -> None:
+        raise ParameterError(f"invalid expt manifest: {message}")
+
+    if not isinstance(manifest, dict):
+        fail(f"expected an object, got {type(manifest).__name__}")
+    required = {
+        "kind", "schema_version", "name", "config", "config_hash",
+        "workers", "parallel", "wall_time_s", "cells",
+    }
+    missing = sorted(required - set(manifest))
+    if missing:
+        fail(f"missing key(s): {', '.join(missing)}")
+    if manifest["kind"] != "expt_matrix":
+        fail(f"kind must be 'expt_matrix', got {manifest['kind']!r}")
+    if manifest["schema_version"] != MANIFEST_SCHEMA_VERSION:
+        fail(
+            f"schema_version must be {MANIFEST_SCHEMA_VERSION}, "
+            f"got {manifest['schema_version']!r}"
+        )
+    if not isinstance(manifest["config_hash"], str) or (
+        not manifest["config_hash"].startswith("sha256:")
+    ):
+        fail("config_hash must be a 'sha256:...' string")
+    cells = manifest["cells"]
+    if not isinstance(cells, dict) or not cells:
+        fail("cells must be a non-empty object")
+    for cell_id, record in cells.items():
+        if not isinstance(record, dict):
+            fail(f"cell {cell_id} must be an object")
+        cell_missing = sorted(
+            {"cell_id", "kind", "golden", "spec", "metrics", "perf"}
+            - set(record)
+        )
+        if cell_missing:
+            fail(
+                f"cell {cell_id} missing key(s): "
+                f"{', '.join(cell_missing)}"
+            )
+        if record["cell_id"] != cell_id:
+            fail(
+                f"cell {cell_id} has mismatched cell_id "
+                f"{record['cell_id']!r}"
+            )
+        metrics = record["metrics"]
+        if not isinstance(metrics, dict):
+            fail(f"cell {cell_id} metrics must be an object")
+        metric_missing = sorted(set(METRIC_KEYS) - set(metrics))
+        if metric_missing:
+            fail(
+                f"cell {cell_id} metrics missing: "
+                f"{', '.join(metric_missing)}"
+            )
+        perf = record["perf"]
+        if not isinstance(perf, dict) or (
+            sorted(set(PERF_KEYS) - set(perf))
+        ):
+            fail(
+                f"cell {cell_id} perf must carry "
+                f"{', '.join(PERF_KEYS)}"
+            )
+        for key, value in {**metrics, **perf}.items():
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or (
+                isinstance(value, bool)
+            ):
+                fail(
+                    f"cell {cell_id} {key} must be numeric or null, "
+                    f"got {value!r}"
+                )
+            if value != value:
+                fail(f"cell {cell_id} {key} is NaN")
+    return manifest
+
+
+def default_workers() -> int:
+    """The worker default mirroring the perf sweep's choice."""
+    return os.cpu_count() or 1

@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.analysis.report import Table
 from repro.errors import ParameterError
@@ -25,7 +25,44 @@ from repro.perf.scenarios import (
     run_scale_scenario,
 )
 
-__all__ = ["SweepReport", "run_sweep", "scale_grid"]
+__all__ = ["SweepReport", "map_parallel", "run_sweep", "scale_grid"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def map_parallel(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Sequence[_ItemT],
+    workers: Optional[int] = None,
+) -> Tuple[List[_ResultT], int, bool]:
+    """Map a picklable *fn* over *items*, fanning across worker processes.
+
+    The shared fan-out behind :func:`run_sweep` and the experiment-matrix
+    runner (:mod:`repro.expt.runner`).  Returns ``(results, workers,
+    parallel)`` with results in input order.  ``workers=None`` picks
+    ``min(len(items), cpu_count)``; ``1`` forces in-process execution.
+    Pool failures (sandboxed /dev/shm, fork limits) degrade to serial
+    rather than failing the run.
+    """
+    if not items:
+        raise ParameterError("map_parallel needs at least one item")
+    if workers is not None and workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    if workers is None:
+        workers = min(len(items), os.cpu_count() or 1)
+    workers = min(workers, len(items))
+    parallel = workers > 1
+    if parallel:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                results = list(executor.map(fn, items))
+        except (OSError, PermissionError):
+            parallel = False
+            results = [fn(item) for item in items]
+    else:
+        results = [fn(item) for item in items]
+    return results, workers, parallel
 
 
 @dataclass(frozen=True)
@@ -113,10 +150,6 @@ def scale_grid(
     return scenarios
 
 
-def _run_serial(scenarios: Sequence[ScaleScenario]) -> List[ScaleResult]:
-    return [run_scale_scenario(s) for s in scenarios]
-
-
 def run_sweep(
     scenarios: Sequence[ScaleScenario],
     workers: Optional[int] = None,
@@ -136,24 +169,10 @@ def run_sweep(
 
     if not scenarios:
         raise ParameterError("run_sweep needs at least one scenario")
-    if workers is not None and workers < 1:
-        raise ParameterError(f"workers must be >= 1, got {workers}")
-    if workers is None:
-        workers = min(len(scenarios), os.cpu_count() or 1)
-    workers = min(workers, len(scenarios))
     start = _time.perf_counter()
-    parallel = workers > 1
-    if parallel:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as executor:
-                results = list(executor.map(run_scale_scenario, scenarios))
-        except (OSError, PermissionError):
-            # No process pools here (sandboxed /dev/shm, fork limits):
-            # degrade to serial rather than failing the sweep.
-            parallel = False
-            results = _run_serial(scenarios)
-    else:
-        results = _run_serial(scenarios)
+    results, workers, parallel = map_parallel(
+        run_scale_scenario, scenarios, workers
+    )
     wall = _time.perf_counter() - start
     return SweepReport(
         results=tuple(results),

@@ -1,0 +1,111 @@
+"""End-to-end matrix gate: smoke run vs the committed baseline.
+
+This is the ISSUE's acceptance test, marked ``matrix``: running the
+smoke experiment matrix must gate cleanly against
+``tests/baselines/matrix_baseline.json``, and a synthetic 20% throughput
+regression must fail the gate with a typed verdict naming the offending
+cell and metric.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.expt import (
+    gate_manifest,
+    run_matrix,
+    smoke_config,
+    validate_manifest,
+    write_results,
+)
+
+pytestmark = pytest.mark.matrix
+
+ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = ROOT / "tests" / "baselines" / "matrix_baseline.json"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    manifest = json.loads(BASELINE_PATH.read_text())
+    return validate_manifest(manifest)
+
+
+@pytest.fixture(scope="module")
+def manifest(tmp_path_factory):
+    report = run_matrix(smoke_config(), workers=1)
+    out = tmp_path_factory.mktemp("matrix") / "smoke"
+    path = write_results(report, out)
+    return validate_manifest(json.loads(Path(path).read_text()))
+
+
+def test_committed_baseline_matches_current_config(baseline):
+    assert baseline["config_hash"] == smoke_config().hash, (
+        "the smoke matrix config changed but the committed baseline was "
+        "not regenerated; run `repro expt run --smoke --regen-baseline`"
+    )
+
+
+def test_smoke_matrix_gates_clean_against_baseline(manifest, baseline):
+    report = gate_manifest(manifest, baseline)
+    assert report.passed, report.render()
+    # every cell of the baseline was exercised.
+    gated_cells = {v.cell for v in report.verdicts}
+    assert set(baseline["cells"]) <= gated_cells
+
+
+def test_golden_cell_present_and_breach_free(manifest):
+    golden = [
+        record for record in manifest["cells"].values()
+        if record["golden"]
+    ]
+    assert len(golden) == 1
+    assert golden[0]["metrics"]["slo_breaches"] == 0
+
+
+def test_injected_throughput_regression_fails_gate(manifest, baseline):
+    regressed = copy.deepcopy(manifest)
+    victim = sorted(regressed["cells"])[0]
+    perf = regressed["cells"][victim]["perf"]
+    perf["blocks_per_second"] = (
+        baseline["cells"][victim]["perf"]["blocks_per_second"] * 0.8
+    )
+    # Explicit machine-independent tolerance: the ROADMAP's 10% budget,
+    # which a 20% drop must trip regardless of host throughput.
+    report = gate_manifest(
+        regressed, baseline,
+        tolerances={"blocks_per_second": ("relative_drop", 0.10)},
+    )
+    assert not report.passed
+    failure = next(
+        v for v in report.failures
+        if v.metric == "blocks_per_second"
+    )
+    assert failure.cell == victim
+    assert failure.kind == "relative_drop"
+    assert failure.observed == pytest.approx(failure.baseline * 0.8)
+    assert "dropped 20.0%" in failure.detail
+    assert "limit 10.0%" in failure.detail
+    rendered = report.render()
+    assert "FAIL" in rendered
+    assert victim in rendered and "blocks_per_second" in rendered
+
+
+def test_injected_slo_breach_in_golden_cell_fails_gate(
+    manifest, baseline
+):
+    breached = copy.deepcopy(manifest)
+    golden_id = next(
+        cell_id for cell_id, record in breached["cells"].items()
+        if record["golden"]
+    )
+    breached["cells"][golden_id]["metrics"]["slo_breaches"] = 1
+    report = gate_manifest(breached, baseline)
+    assert not report.passed
+    failure = next(
+        v for v in report.failures if v.metric == "slo_breaches"
+    )
+    assert failure.cell == golden_id
+    assert failure.kind == "max" and failure.limit == 0.0

@@ -3,12 +3,15 @@
 The benchmark smoke job is the "benches can't silently rot" guard: it
 executes every ``benchmarks/bench_*.py`` end to end with tiny workloads
 in a subprocess, exactly as CI would.  The other tests pin the pytest
-marker registry and the ruff configuration so tooling entry points
-don't quietly disappear.
+marker registry, the ruff configuration, the experiment-matrix smoke
+entry points (``repro expt``, ``scripts/check.sh``), and the rule that
+no ``*.smoke.json`` scratch artifact is ever committed.
 """
 
+import fnmatch
 import json
 import os
+import re
 import subprocess
 import sys
 import tomllib
@@ -118,6 +121,21 @@ class TestBenchPerfSchema:
         record = json.loads(smoke_path.read_text())
         self._validate_record(record)
         assert record["mode"] == "smoke"
+        # The bench emits the same trajectory as an expt-matrix manifest
+        # so the scale points can feed `repro expt gate`/`diff`.
+        from repro.expt import validate_manifest
+
+        matrix_path = ROOT / "BENCH_PERF.matrix.smoke.json"
+        assert matrix_path.exists(), (
+            "bench_perf_scale --smoke did not write "
+            "BENCH_PERF.matrix.smoke.json"
+        )
+        manifest = validate_manifest(
+            json.loads(matrix_path.read_text())
+        )
+        assert manifest["name"] == "bench-perf-scale-smoke"
+        bench_names = {p["name"] for p in record["points"]}
+        assert bench_names <= set(manifest["cells"])
 
     def test_committed_trajectory_is_schema_valid(self):
         path = ROOT / "BENCH_PERF.json"
@@ -134,6 +152,21 @@ class TestBenchPerfSchema:
             "full trajectory must include the 1000-stream point"
         )
 
+    def test_committed_matrix_manifest_is_schema_valid(self):
+        from repro.expt import validate_manifest
+
+        path = ROOT / "BENCH_PERF.matrix.json"
+        assert path.exists(), (
+            "BENCH_PERF.matrix.json missing; regenerate with "
+            "`pytest benchmarks/bench_perf_scale.py --benchmark-disable`"
+        )
+        manifest = validate_manifest(json.loads(path.read_text()))
+        assert manifest["name"] == "bench-perf-scale-full"
+        assert any(
+            record["spec"].get("streams") == 1000
+            for record in manifest["cells"].values()
+        ), "full matrix manifest must carry the 1000-stream point"
+
 
 class TestMarkers:
     def test_golden_marker_selects_golden_tests(self):
@@ -146,8 +179,44 @@ class TestMarkers:
     def test_markers_are_registered(self):
         config = tomllib.loads((ROOT / "pyproject.toml").read_text())
         markers = config["tool"]["pytest"]["ini_options"]["markers"]
-        for name in ("chaos", "golden", "perf", "server", "trace"):
+        for name in (
+            "chaos", "golden", "matrix", "perf", "server", "trace",
+        ):
             assert any(m.startswith(f"{name}:") for m in markers), name
+
+    def test_every_used_marker_is_declared(self):
+        # The drift guard: applying an unregistered mark anywhere in
+        # the tree would otherwise only surface as a warning.
+        builtin = {
+            "parametrize", "skip", "skipif", "xfail", "usefixtures",
+            "filterwarnings",
+        }
+        config = tomllib.loads((ROOT / "pyproject.toml").read_text())
+        declared = {
+            m.split(":", 1)[0]
+            for m in config["tool"]["pytest"]["ini_options"]["markers"]
+        }
+        pattern = re.compile(r"pytest\.mark\.([A-Za-z_]\w*)")
+        used = {}
+        for directory in ("tests", "benchmarks"):
+            for path in (ROOT / directory).rglob("*.py"):
+                for name in pattern.findall(path.read_text()):
+                    used.setdefault(name, path.relative_to(ROOT))
+        undeclared = {
+            name: str(path)
+            for name, path in sorted(used.items())
+            if name not in builtin and name not in declared
+        }
+        assert not undeclared, (
+            f"markers used but not declared in pyproject: {undeclared}"
+        )
+
+    def test_matrix_marker_selects_matrix_tests(self):
+        result = _run_pytest(
+            ["tests/expt", "-m", "matrix", "--collect-only", "-q"]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "test_matrix_e2e" in result.stdout
 
     def test_server_marker_selects_server_tests(self):
         result = _run_pytest(
@@ -206,3 +275,84 @@ class TestLintConfig:
         config = tomllib.loads((ROOT / "pyproject.toml").read_text())
         ignores = config["tool"]["ruff"]["lint"]["per-file-ignores"]
         assert "F401" in ignores["src/repro/__init__.py"]
+
+
+class TestNoTrackedScratchArtifacts:
+    def test_no_smoke_json_is_committed(self):
+        # Smoke artifacts (BENCH_PERF.smoke.json and friends) are CI
+        # scratch files; .gitignore covers `*.smoke.json` and nothing
+        # matching it may ever be tracked.
+        result = subprocess.run(
+            ["git", "ls-files"],
+            cwd=ROOT, capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        tracked = result.stdout.splitlines()
+        offenders = [
+            path for path in tracked
+            if fnmatch.fnmatch(Path(path).name, "*.smoke.json")
+        ]
+        assert not offenders, (
+            f"smoke scratch artifacts are tracked: {offenders}; "
+            "git rm them (they are regenerated by every smoke run)"
+        )
+
+    def test_gitignore_covers_smoke_and_results(self):
+        ignored = (ROOT / ".gitignore").read_text().splitlines()
+        assert "*.smoke.json" in ignored
+        assert "results/" in ignored
+
+
+class TestExptSmoke:
+    def test_expt_smoke_run_completes_and_manifest_validates(
+        self, tmp_path
+    ):
+        from repro.expt import smoke_config, validate_manifest
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src")
+        out = tmp_path / "smoke"
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "expt", "run",
+                "--smoke", "--out", str(out),
+            ],
+            cwd=ROOT, capture_output=True, text=True, env=env,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "expt run 'smoke'" in result.stdout
+        manifest = validate_manifest(
+            json.loads((out / "matrix.json").read_text())
+        )
+        assert manifest["config_hash"] == smoke_config().hash
+
+        gate = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "expt", "gate",
+                "--manifest", str(out / "matrix.json"),
+            ],
+            cwd=ROOT, capture_output=True, text=True, env=env,
+            timeout=120,
+        )
+        assert gate.returncode == 0, gate.stdout + gate.stderr
+        assert "PASS" in gate.stdout
+
+
+class TestCheckScript:
+    def test_check_script_exists_and_is_executable(self):
+        script = ROOT / "scripts" / "check.sh"
+        assert script.exists(), "scripts/check.sh missing"
+        assert os.access(script, os.X_OK), (
+            "scripts/check.sh is not executable"
+        )
+
+    def test_check_script_runs_all_three_gates(self):
+        # Lint, tier-1 tests, and the smoke matrix gate must all appear;
+        # a check.sh that quietly drops one is a CI hole.
+        text = (ROOT / "scripts" / "check.sh").read_text()
+        assert "ruff" in text
+        assert "pytest" in text
+        assert "expt run --smoke" in text
+        assert "expt gate" in text
+        assert "set -euo pipefail" in text
