@@ -25,6 +25,7 @@ from conftest import emit, param, pedantic_args, smoke_mode
 
 from repro.expt import build_manifest, cell_from_scale_result, stable_json
 from repro.perf import (
+    run_cluster_scale_bench,
     run_obs_overhead_scenario,
     run_scale_scenario,
     run_server_compare_scenario,
@@ -46,6 +47,12 @@ SERVE_STRANDS = param(5, 2)
 OBS_STREAMS = param(100, 8)
 OBS_BLOCKS = param(1000, 50)
 OBS_REPEATS = param(5, 2)
+CLUSTER_NODES = param(20, 3)
+CLUSTER_SESSIONS = param(1000, 12)
+CLUSTER_TITLES = param(40, 4)
+CLUSTER_PER_NODE_STREAMS = param(75, 8)
+CLUSTER_FAILOVER_NODES = param(4, 3)
+CLUSTER_FAILOVER_SESSIONS = param(32, 12)
 
 
 def _scenario(streams: int) -> ScaleScenario:
@@ -106,6 +113,32 @@ def test_perf_scale_points(benchmark):
         f"{compare.per_request_continuous}"
     )
 
+    cluster = run_cluster_scale_bench(
+        nodes=CLUSTER_NODES,
+        sessions=CLUSTER_SESSIONS,
+        titles=CLUSTER_TITLES,
+        per_node_streams=CLUSTER_PER_NODE_STREAMS,
+        failover_nodes=CLUSTER_FAILOVER_NODES,
+        failover_sessions=CLUSTER_FAILOVER_SESSIONS,
+    )
+    assert cluster.all_continuous, (
+        "every admitted cluster session must stay continuous: "
+        f"{cluster.scale['continuous']} of {cluster.scale['admitted']}"
+    )
+    assert cluster.within_bounds, (
+        "measured concurrency exceeded the analytical VoD bounds: "
+        f"{cluster.scale['admitted']} admitted vs full-catalog "
+        f"{cluster.bounds['full_catalog']}"
+    )
+    assert cluster.handoff_clean_ratio > 0.9, (
+        ">90% of node-kill handoffs must preserve continuity: "
+        f"{cluster.failover['clean']} clean of "
+        f"{cluster.failover['affected']} affected"
+    )
+    if not smoke_mode():
+        # The acceptance scale: 1000+ concurrent sessions, sharded.
+        assert cluster.scale["admitted"] >= 1000
+
     overhead = run_obs_overhead_scenario(
         streams=OBS_STREAMS,
         blocks_per_stream=OBS_BLOCKS,
@@ -129,6 +162,7 @@ def test_perf_scale_points(benchmark):
         "points": [point.to_dict() for point in points],
         "sweep": sweep.to_dict(),
         "server_compare": compare.to_dict(),
+        "cluster_scale": cluster.to_dict(),
         "obs_overhead": overhead.to_dict(),
     }
     path = _bench_path()
@@ -164,6 +198,16 @@ def test_perf_scale_points(benchmark):
         f"  serve compare: batched {compare.batched_continuous} vs "
         f"per-request {compare.per_request_continuous} continuous "
         f"({compare.sessions_per_second:,.0f} sessions/s)"
+    )
+    table_lines.append(
+        f"  cluster scale: {cluster.scale['continuous']}/"
+        f"{cluster.scale['admitted']} continuous on "
+        f"{cluster.params['nodes']} nodes "
+        f"(full-catalog bound {cluster.bounds['full_catalog']}, "
+        f"demand {cluster.bounds['demand_satisfiable']}/"
+        f"{cluster.bounds['demand_total']}); failover "
+        f"{cluster.failover['clean']}/{cluster.failover['affected']} "
+        f"clean handoffs"
     )
     table_lines.append(
         f"  obs overhead: x{overhead.ratio:.3f} "

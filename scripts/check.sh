@@ -27,4 +27,7 @@ echo "== smoke experiment matrix =="
 python -m repro expt run --smoke --out results/smoke
 python -m repro expt gate --manifest results/smoke/matrix.json
 
+echo "== cluster smoke scenario =="
+python -m repro cluster --smoke
+
 echo "check.sh: all gates passed"

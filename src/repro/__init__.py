@@ -24,15 +24,19 @@ for Digital Video and Audio* (SOSP 1991):
   quantitative figure in the paper (:mod:`repro.workload`,
   :mod:`repro.analysis`).
 
-The supported public surface is the typed message API plus the
-multi-tenant server front end:
+The supported public surface is the typed message API plus the two
+deployment front ends:
 
 * :mod:`repro.api` — the request/response dataclasses every client
-  speaks (re-exported here: :class:`OpenSessionRequest`,
-  :class:`SessionStatus`, :class:`ServeResult`, …);
+  speaks, single-server and cluster alike (re-exported here:
+  :class:`OpenSessionRequest`, :class:`SessionStatus`,
+  :class:`ServeResult`, :class:`ClusterServeResult`, …);
 * :class:`repro.server.MediaServer` — owns the storage-manager +
   rope-server + service stack and serves request queues end to end with
-  batched admission, a block cache, and typed overload.
+  batched admission, a block cache, and typed overload;
+* :class:`repro.cluster.MediaCluster` — N sharded MediaServers behind
+  the same typed API: popularity-aware placement, least-loaded replica
+  routing, and deterministic inter-node session handoff.
 
 Quick start::
 
@@ -47,18 +51,15 @@ Quick start::
     print(result.continuous_sessions)
 
 The lower layers (``core``, ``disk``, ``fs``, ``rope``, ``service``, …)
-stay importable for library use and experiments; the old habit of
-importing their classes straight off ``repro`` (``repro.PlaybackSession``
-etc.) still works but warns :class:`DeprecationWarning` — reach into the
-owning module, or better, use the facade above.
+stay importable for library use and experiments; import their classes
+from the owning module (the old deprecated top-level aliases, e.g.
+``repro.PlaybackSession``, have been removed).
 """
-
-import importlib
-import warnings
 
 from repro import (
     analysis,
     api,
+    cluster,
     config,
     core,
     disk,
@@ -75,7 +76,11 @@ from repro import (
     workload,
 )
 from repro.api import (
+    ClusterServeResult,
+    HandoffRecord,
     Media,
+    NodeServeResult,
+    NodeStatus,
     OpenSessionRequest,
     OpenSessionResponse,
     PauseRequest,
@@ -87,13 +92,19 @@ from repro.api import (
     SessionStatus,
     StopRequest,
 )
+from repro.cluster import MediaCluster
 from repro.server import MediaServer
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "ClusterServeResult",
+    "HandoffRecord",
     "Media",
+    "MediaCluster",
     "MediaServer",
+    "NodeServeResult",
+    "NodeStatus",
     "OpenSessionRequest",
     "OpenSessionResponse",
     "PauseRequest",
@@ -106,6 +117,7 @@ __all__ = [
     "StopRequest",
     "analysis",
     "api",
+    "cluster",
     "config",
     "core",
     "disk",
@@ -122,35 +134,3 @@ __all__ = [
     "workload",
     "__version__",
 ]
-
-#: Old top-level entry points, kept importable behind a DeprecationWarning.
-#: name -> (owning module, attribute, suggested replacement)
-_DEPRECATED_ALIASES = {
-    "MultimediaStorageManager": (
-        "repro.fs", "MultimediaStorageManager", "repro.fs"
-    ),
-    "MultimediaRopeServer": (
-        "repro.rope", "MultimediaRopeServer", "repro.rope"
-    ),
-    "PlaybackSession": (
-        "repro.service", "PlaybackSession", "repro.server.MediaServer"
-    ),
-    "RoundRobinService": (
-        "repro.service", "RoundRobinService", "repro.server.MediaServer"
-    ),
-    "stub_for": ("repro.service.rpc", "stub_for", "repro.service.rpc"),
-}
-
-
-def __getattr__(name):
-    """Resolve deprecated top-level aliases with a warning (PEP 562)."""
-    if name in _DEPRECATED_ALIASES:
-        module_name, attribute, replacement = _DEPRECATED_ALIASES[name]
-        warnings.warn(
-            f"repro.{name} is deprecated; import {attribute} from "
-            f"{module_name} (or use {replacement})",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(importlib.import_module(module_name), attribute)
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")

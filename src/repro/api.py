@@ -14,8 +14,21 @@ use, but the supported public surface is:
 * :class:`PlayRequest`, :class:`PauseRequest`, :class:`ResumeRequest`,
   :class:`StopRequest` — the §4.1 lifecycle verbs, addressed by session;
 * :class:`SessionStatus` — one session's lifecycle state and continuity
-  outcome;
+  outcome (cluster deployments also stamp the serving node and handoff
+  count);
 * :class:`ServeResult` — the outcome of one served request queue.
+
+The same surface covers cluster deployments
+(:class:`repro.cluster.MediaCluster`) through the cluster-addressed
+messages:
+
+* :class:`NodeStatus` — identity and health of one cluster node;
+* :class:`HandoffRecord` — one inter-node session handoff decision;
+* :class:`NodeServeResult` — one node's per-chunk :class:`ServeResult`
+  sequence;
+* :class:`ClusterServeResult` — the cluster-level aggregate: statuses,
+  typed rejects, the placement map, the admission order, and every
+  handoff, all byte-deterministic under a fixed seed.
 
 :class:`repro.server.MediaServer` consumes and produces these types;
 :class:`repro.service.session.PlaybackSession` accepts
@@ -45,6 +58,10 @@ __all__ = [
     "StopRequest",
     "SessionStatus",
     "ServeResult",
+    "NodeStatus",
+    "HandoffRecord",
+    "NodeServeResult",
+    "ClusterServeResult",
 ]
 
 
@@ -73,6 +90,7 @@ class RejectReason(enum.Enum):
     UNKNOWN_ROPE = "unknown_rope"    # no such rope
     ACCESS_DENIED = "access_denied"  # caller lacks Play access
     EMPTY_INTERVAL = "empty_interval"  # requested interval has no media
+    NO_REPLICA = "no_replica"        # cluster: no live replica has slack
 
 
 @dataclass(frozen=True)
@@ -179,7 +197,14 @@ class StopRequest:
 
 @dataclass(frozen=True)
 class SessionStatus:
-    """One session's lifecycle state and continuity outcome."""
+    """One session's lifecycle state and continuity outcome.
+
+    ``node_id`` and ``handoffs`` are the cluster-addressing fields: a
+    single :class:`~repro.server.MediaServer` leaves them at their
+    defaults, while :class:`repro.cluster.MediaCluster` stamps the node
+    that finished serving the session and how many inter-node handoffs
+    it survived.
+    """
 
     session_id: str
     client_id: str
@@ -192,6 +217,8 @@ class SessionStatus:
     batch_leader: Optional[str] = None
     cache_admitted: bool = False
     request_id: Optional[str] = None
+    node_id: Optional[str] = None
+    handoffs: int = 0
 
     @property
     def continuous(self) -> bool:
@@ -213,6 +240,8 @@ class SessionStatus:
             "batch_leader": self.batch_leader,
             "cache_admitted": self.cache_admitted,
             "continuous": self.continuous,
+            "node_id": self.node_id,
+            "handoffs": self.handoffs,
         }
 
 
@@ -300,4 +329,222 @@ class ServeResult:
             "continuous_sessions": self.continuous_sessions,
             "total_misses": self.total_misses,
             "cache_stats": dict(sorted(self.cache_stats.items())),
+        }
+
+
+@dataclass(frozen=True)
+class NodeStatus:
+    """Identity and health of one cluster node (replica addressing).
+
+    Attributes
+    ----------
+    node_id:
+        The node's stable cluster-wide name (e.g. ``node-03``).
+    alive:
+        False once the node's mechanism has died (a scheduled
+        HEAD_FAILURE or an operator kill); dead nodes accept nothing.
+    degraded:
+        True while the node is drained of new admissions but still
+        finishing its current chunks.
+    sessions:
+        Sessions the node was serving when the status was taken.
+    titles:
+        Catalog titles the placement map replicated onto this node.
+    """
+
+    node_id: str
+    alive: bool = True
+    degraded: bool = False
+    sessions: int = 0
+    titles: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (stable key set)."""
+        return {
+            "node_id": self.node_id,
+            "alive": self.alive,
+            "degraded": self.degraded,
+            "sessions": self.sessions,
+            "titles": list(self.titles),
+        }
+
+
+@dataclass(frozen=True)
+class HandoffRecord:
+    """One inter-node session handoff decision.
+
+    Attributes
+    ----------
+    session_id:
+        The cluster session that was moved.
+    rope_id:
+        The catalog title it was playing.
+    from_node / to_node:
+        Where it was and where it landed; ``to_node`` is None when no
+        live replica had admission slack (the session then ends with a
+        :attr:`RejectReason.NO_REPLICA` refusal).
+    at_chunk:
+        The chunk boundary index the handoff happened at.
+    blocks_before:
+        Blocks already delivered when the source node died.
+    clean:
+        True when the session resumed on the target and finished every
+        remaining chunk without a single miss or skip — no continuity
+        break observable by the viewer.
+    detail:
+        Human-readable context for logs.
+    """
+
+    session_id: str
+    rope_id: str
+    from_node: str
+    to_node: Optional[str]
+    at_chunk: int
+    blocks_before: int = 0
+    clean: bool = False
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (stable key set)."""
+        return {
+            "session_id": self.session_id,
+            "rope_id": self.rope_id,
+            "from_node": self.from_node,
+            "to_node": self.to_node,
+            "at_chunk": self.at_chunk,
+            "blocks_before": self.blocks_before,
+            "clean": self.clean,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class NodeServeResult:
+    """One node's contribution to a cluster epoch: its chunk results."""
+
+    node_id: str
+    results: Tuple[ServeResult, ...] = ()
+
+    @property
+    def blocks_delivered(self) -> int:
+        """Blocks this node delivered across every chunk epoch."""
+        return sum(
+            s.blocks_delivered for r in self.results for s in r.statuses
+        )
+
+    @property
+    def rounds(self) -> int:
+        """Service rounds this node ran across every chunk epoch."""
+        return sum(r.rounds for r in self.results)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (stable key set)."""
+        return {
+            "node_id": self.node_id,
+            "blocks_delivered": self.blocks_delivered,
+            "rounds": self.rounds,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+@dataclass(frozen=True)
+class ClusterServeResult:
+    """The outcome of one :meth:`repro.cluster.MediaCluster.serve` call.
+
+    Aggregates the per-node :class:`ServeResult` epochs behind one
+    cluster-level answer in the same shape :class:`ServeResult` uses,
+    plus the routing evidence: the placement map the router consulted,
+    the exact admission order, and every handoff decision.  All of it is
+    a pure function of (requests, placement, fault plan, seed), so
+    ``to_dict()`` is byte-deterministic — the router-determinism tests
+    compare two runs' serialized results verbatim.
+    """
+
+    statuses: Tuple[SessionStatus, ...]
+    rejects: Tuple[OpenSessionResponse, ...] = ()
+    per_node: Tuple[NodeServeResult, ...] = ()
+    nodes: Tuple[NodeStatus, ...] = ()
+    handoffs: Tuple[HandoffRecord, ...] = ()
+    placement: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    admission_order: Tuple[Tuple[str, str], ...] = ()
+    chunks: int = 1
+
+    @property
+    def admitted(self) -> int:
+        """Sessions the router admitted onto some replica."""
+        return sum(
+            1 for s in self.statuses if s.state is not SessionState.REJECTED
+        )
+
+    @property
+    def continuous_sessions(self) -> int:
+        """Sessions that completed every chunk without a glitch."""
+        return sum(
+            1
+            for s in self.statuses
+            if s.state is SessionState.COMPLETED
+            and s.continuous
+            and s.skips == 0
+        )
+
+    @property
+    def total_misses(self) -> int:
+        """Deadline misses summed over every session and chunk."""
+        return sum(s.misses for s in self.statuses)
+
+    @property
+    def handoffs_clean(self) -> int:
+        """Handoffs that resumed without a continuity break."""
+        return sum(1 for h in self.handoffs if h.clean)
+
+    @property
+    def handoff_clean_ratio(self) -> Optional[float]:
+        """Clean fraction of all handoffs (None when there were none)."""
+        if not self.handoffs:
+            return None
+        return self.handoffs_clean / len(self.handoffs)
+
+    def status_of(self, session_id: str) -> SessionStatus:
+        """Look up one session's status (raises KeyError if absent)."""
+        for status in self.statuses:
+            if status.session_id == session_id:
+                return status
+        raise KeyError(session_id)
+
+    def node_result(self, node_id: str) -> NodeServeResult:
+        """One node's chunk results (raises KeyError if absent)."""
+        for node in self.per_node:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(node_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (the ``repro cluster --json`` shape)."""
+        return {
+            "sessions": [s.to_dict() for s in self.statuses],
+            "rejects": [
+                {
+                    "session_id": r.session_id,
+                    "reject": r.reject.value if r.reject else None,
+                    "requeues": r.requeues,
+                    "detail": r.detail,
+                }
+                for r in self.rejects
+            ],
+            "per_node": [n.to_dict() for n in self.per_node],
+            "nodes": [n.to_dict() for n in self.nodes],
+            "handoffs": [h.to_dict() for h in self.handoffs],
+            "placement": {
+                title: list(replicas)
+                for title, replicas in self.placement
+            },
+            "admission_order": [
+                [session_id, node_id]
+                for session_id, node_id in self.admission_order
+            ],
+            "chunks": self.chunks,
+            "admitted": self.admitted,
+            "continuous_sessions": self.continuous_sessions,
+            "total_misses": self.total_misses,
+            "handoffs_clean": self.handoffs_clean,
         }

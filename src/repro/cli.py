@@ -27,6 +27,11 @@ Commands
     trace as Chrome trace-event JSON, loadable in Perfetto
     (https://ui.perfetto.dev) or ``chrome://tracing`` — see
     :meth:`repro.obs.SpanTracer.to_chrome_trace`.
+``cluster [--failover] [--smoke] [--nodes N] [--sessions N] [--json]``
+    Run a sharded :class:`repro.cluster.MediaCluster` scenario — the
+    1000-session scale run with its analytical VoD bounds, or (with
+    ``--failover``) a deterministic node-kill run with inter-node
+    session handoff (see :mod:`repro.cluster.scenarios`).
 ``expt {run,gate,diff}``
     The experiment-matrix harness (:mod:`repro.expt`): ``run`` expands a
     declarative config (``--smoke`` for the builtin CI matrix) and
@@ -36,9 +41,11 @@ Commands
     deltas between two manifests.
 
 Every scenario-running subcommand (``demo``, ``obs-report``,
-``perf-sweep``, ``serve``, ``trace-export``) accepts ``--seed`` and
-``--json`` via one shared option builder, so scripted callers can rely
-on the same determinism and output contract everywhere.
+``perf-sweep``, ``serve``, ``cluster``, ``trace-export``) accepts
+``--seed`` and ``--json`` via one shared option builder, and the
+``expt`` subcommands take the ``--json`` half of the same builder, so
+scripted callers can rely on the same determinism and output contract
+everywhere.
 """
 
 from __future__ import annotations
@@ -93,16 +100,21 @@ def _add_common_options(
     seed_default: int = 20260806,
     seed_help: str = "deterministic scenario seed",
     json_help: str = "print machine-readable JSON instead of the report",
+    include_seed: bool = True,
 ) -> argparse.ArgumentParser:
     """Attach the ``--seed`` / ``--json`` pair every scenario command has.
 
     One shared builder keeps the contract uniform: the same flag names,
     types, and defaults on ``demo``, ``obs-report``, ``perf-sweep``,
-    ``serve``, and ``trace-export`` — tests introspect the parser to
-    enforce this.
+    ``serve``, ``trace-export``, ``cluster``, and the ``expt``
+    subcommands — tests introspect the parser to enforce this.
+    Commands whose determinism comes from a manifest rather than a
+    seed (``expt run/gate/diff``) pass ``include_seed=False`` and keep
+    only the ``--json`` half of the contract.
     """
-    parser.add_argument("--seed", type=int, default=seed_default,
-                        help=seed_help)
+    if include_seed:
+        parser.add_argument("--seed", type=int, default=seed_default,
+                            help=seed_help)
     parser.add_argument("--json", action="store_true", help=json_help)
     return parser
 
@@ -339,6 +351,95 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"k={result.k_used}, cache {result.cache_stats or 'off'}"
         )
     return 0 if result.total_misses == 0 else 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import (
+        run_cluster_failover_scenario,
+        run_cluster_scale_scenario,
+        run_cluster_smoke_scenario,
+    )
+
+    if args.smoke:
+        run = run_cluster_smoke_scenario(seed=args.seed)
+        result = run.result
+        clean = (
+            result.continuous_sessions == result.admitted
+            and result.handoffs_clean == len(result.handoffs)
+            and not result.rejects
+        )
+        print(run.snapshot())
+        return 0 if clean else 1
+    def resolved(value, scale_default, failover_default):
+        if value is not None:
+            return value
+        return failover_default if args.failover else scale_default
+
+    sizing = dict(
+        nodes=resolved(args.nodes, 20, 4),
+        sessions=resolved(args.sessions, 1000, 32),
+        titles=resolved(args.titles, 40, 8),
+        seconds=resolved(args.seconds, 1.0, 2.0),
+        per_node_streams=resolved(args.per_node_streams, 75, 24),
+        min_replicas=args.replicas,
+        chunks=resolved(args.chunks, 1, 4),
+        seed=args.seed,
+    )
+    if args.failover:
+        run = run_cluster_failover_scenario(
+            kill_node=args.kill_node,
+            kill_chunk=args.kill_chunk,
+            **sizing,
+        )
+    else:
+        run = run_cluster_scale_scenario(**sizing)
+    result = run.result
+    ratio = result.handoff_clean_ratio
+    if args.json:
+        print(json.dumps({
+            "summary": {
+                "nodes": len(result.nodes),
+                "sessions": len(result.statuses),
+                "admitted": result.admitted,
+                "continuous": result.continuous_sessions,
+                "rejected": len(result.rejects),
+                "handoffs": len(result.handoffs),
+                "handoffs_clean": result.handoffs_clean,
+                "handoff_clean_ratio": ratio,
+                "chunks": result.chunks,
+            },
+            "bounds": run.bounds.to_dict(),
+            "placement": {
+                title: list(nodes) for title, nodes in result.placement
+            },
+            "nodes": [node.to_dict() for node in result.nodes],
+        }, indent=2, sort_keys=True))
+    else:
+        print(
+            f"cluster of {len(result.nodes)} nodes served "
+            f"{len(result.statuses)} sessions: {result.admitted} "
+            f"admitted, {result.continuous_sessions} continuous, "
+            f"{len(result.rejects)} rejected"
+        )
+        if result.handoffs:
+            print(
+                f"  handoffs: {result.handoffs_clean}/"
+                f"{len(result.handoffs)} clean "
+                f"(ratio {ratio:.2f})"
+            )
+        bounds = run.bounds
+        print(
+            f"  bounds: full-catalog {bounds.full_catalog} streams, "
+            f"demand {bounds.demand_satisfiable}/{bounds.demand_total} "
+            f"satisfiable, storage "
+            f"{'ok' if bounds.storage_ok else 'infeasible'}"
+        )
+    healthy = result.continuous_sessions == result.admitted
+    if result.handoffs:
+        healthy = healthy and (ratio or 0.0) > 0.9
+    return 0 if healthy else 1
 
 
 def _cmd_trace_export(args: argparse.Namespace) -> int:
@@ -676,6 +777,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=_cmd_serve)
 
+    cluster = commands.add_parser(
+        "cluster",
+        help="serve a sharded multi-node cluster scenario",
+    )
+    cluster.add_argument(
+        "--nodes", type=int, default=None,
+        help="MediaServer nodes in the cluster "
+             "(default: 20 scale / 4 failover)",
+    )
+    cluster.add_argument(
+        "--sessions", type=int, default=None,
+        help="concurrent open requests (default: 1000 scale / 32 failover)",
+    )
+    cluster.add_argument(
+        "--titles", type=int, default=None,
+        help="catalog titles, Zipf-popular (default: 40 scale / 8 failover)",
+    )
+    cluster.add_argument(
+        "--seconds", type=float, default=None,
+        help="length of each recorded title "
+             "(default: 1.0 scale / 2.0 failover)",
+    )
+    cluster.add_argument(
+        "--per-node-streams", type=int, default=None,
+        help="per-node concurrent-session capacity "
+             "(default: 75 scale / 24 failover)",
+    )
+    cluster.add_argument(
+        "--replicas", type=int, default=2,
+        help="minimum replicas per title (default: 2)",
+    )
+    cluster.add_argument(
+        "--chunks", type=int, default=None,
+        help="chunk epochs per session (handoff granularity; "
+             "default: 1 scale / 4 failover)",
+    )
+    cluster.add_argument(
+        "--failover", action="store_true",
+        help="run the node-kill failover scenario instead of scale",
+    )
+    cluster.add_argument(
+        "--kill-node", type=int, default=1,
+        help="node index the failover plan kills (default: 1)",
+    )
+    cluster.add_argument(
+        "--kill-chunk", type=int, default=2,
+        help="chunk boundary the kill fires at (default: 2)",
+    )
+    cluster.add_argument(
+        "--smoke", action="store_true",
+        help="run the tiny fixed scenario and emit its obs snapshot",
+    )
+    _add_common_options(
+        cluster, seed_help="workload seed (title draws and arrivals)",
+        json_help="print the cluster summary and bounds as JSON",
+    )
+    cluster.set_defaults(handler=_cmd_cluster)
+
     trace_export = commands.add_parser(
         "trace-export",
         help="export a scenario's causal trace as Chrome trace JSON",
@@ -729,9 +888,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline path used by --regen-baseline "
              f"(default: {EXPT_BASELINE_PATH})",
     )
-    expt_run.add_argument(
-        "--json", action="store_true",
-        help="print the manifest JSON instead of the summary",
+    _add_common_options(
+        expt_run, include_seed=False,
+        json_help="print the manifest JSON instead of the summary",
     )
     expt_run.set_defaults(handler=_cmd_expt_run)
 
@@ -758,9 +917,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print the full per-check verdict table",
     )
-    expt_gate.add_argument(
-        "--json", action="store_true",
-        help="print the verdicts as JSON",
+    _add_common_options(
+        expt_gate, include_seed=False,
+        json_help="print the verdicts as JSON",
     )
     expt_gate.set_defaults(handler=_cmd_expt_gate)
 
@@ -777,9 +936,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default=EXPT_BASELINE_PATH, metavar="FILE",
         help=f"manifest to diff against (default: {EXPT_BASELINE_PATH})",
     )
-    expt_diff.add_argument(
-        "--json", action="store_true",
-        help="print the deltas as JSON",
+    _add_common_options(
+        expt_diff, include_seed=False,
+        json_help="print the deltas as JSON",
     )
     expt_diff.set_defaults(handler=_cmd_expt_diff)
     return parser

@@ -1,0 +1,230 @@
+"""Analytical stream-capacity bounds for a distributed VoD cluster.
+
+Implements the theoretical bounds of *Scalable Distributed
+Video-on-Demand* as the comparison baseline the measured cluster is
+reported against:
+
+* **Single-video bound** — a title with ``r_v`` replicas can never
+  serve more than ``r_v * u`` concurrent streams (``u`` = per-node
+  stream capacity, here the §3.4 admission limit or the cache-admission
+  slack standing in for it).  No routing policy can beat this.
+* **Full-catalog bound** — the whole cluster can never serve more than
+  ``n * u`` concurrent streams across all titles.
+* **Storage feasibility** — the catalog's total replica count must fit
+  in ``n * per_node_titles`` strand slots.
+* **Demand satisfiability** — a concrete demand vector (streams wanted
+  per title) is servable iff the bipartite flow network
+  *source -> title (cap demand_v) -> replica nodes (cap ∞) ->
+  sink (cap u)* has a max flow equal to total demand.  This is the
+  paper's matching argument; we compute it with a deterministic BFS
+  Ford-Fulkerson, which is exact for these integral capacities.
+
+All functions are pure and free of randomness, so the bounds land in
+golden results byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ParameterError
+
+from repro.cluster.placement import PlacementMap
+
+__all__ = [
+    "ClusterBounds",
+    "bounds_for_placement",
+    "demand_max_flow",
+    "full_catalog_bound",
+    "single_video_bound",
+    "storage_feasible",
+]
+
+
+def single_video_bound(replicas: int, per_node_streams: int) -> int:
+    """Max concurrent streams of one title: ``replicas * u``."""
+    if replicas < 1:
+        raise ParameterError(f"replicas must be >= 1, got {replicas}")
+    if per_node_streams < 1:
+        raise ParameterError(
+            f"per_node_streams must be >= 1, got {per_node_streams}"
+        )
+    return replicas * per_node_streams
+
+
+def full_catalog_bound(nodes: int, per_node_streams: int) -> int:
+    """Max concurrent streams cluster-wide: ``n * u``."""
+    if nodes < 1:
+        raise ParameterError(f"nodes must be >= 1, got {nodes}")
+    if per_node_streams < 1:
+        raise ParameterError(
+            f"per_node_streams must be >= 1, got {per_node_streams}"
+        )
+    return nodes * per_node_streams
+
+
+def storage_feasible(
+    total_replicas: int, nodes: int, per_node_titles: int
+) -> bool:
+    """Whether the replica set fits the cluster's strand slots."""
+    if nodes < 1:
+        raise ParameterError(f"nodes must be >= 1, got {nodes}")
+    if per_node_titles < 1:
+        raise ParameterError(
+            f"per_node_titles must be >= 1, got {per_node_titles}"
+        )
+    return total_replicas <= nodes * per_node_titles
+
+
+def demand_max_flow(
+    placement: PlacementMap,
+    demand: Mapping[str, int],
+    per_node_streams: int,
+) -> int:
+    """Max satisfiable streams for a demand vector over a placement.
+
+    Ford-Fulkerson with BFS (Edmonds-Karp) over the bipartite network
+    *source -> title (cap demand) -> replica node (cap ∞) -> sink
+    (cap u)*.  Node order and title order are the placement's, so the
+    flow value and the augmenting sequence are deterministic.
+    """
+    if per_node_streams < 1:
+        raise ParameterError(
+            f"per_node_streams must be >= 1, got {per_node_streams}"
+        )
+    titles = [t for t in placement.titles() if demand.get(t, 0) > 0]
+    for title, wanted in demand.items():
+        if wanted < 0:
+            raise ParameterError(
+                f"demand for {title!r} must be >= 0, got {wanted}"
+            )
+        if wanted > 0 and not placement.has_title(title):
+            raise ParameterError(
+                f"demand names unplaced title {title!r}"
+            )
+    nodes: List[str] = []
+    for title in titles:
+        for node in placement.replicas(title):
+            if node not in nodes:
+                nodes.append(node)
+    # Vertex numbering: 0 = source, 1..T = titles, T+1..T+N = nodes,
+    # T+N+1 = sink.
+    title_index = {t: 1 + i for i, t in enumerate(titles)}
+    node_index = {n: 1 + len(titles) + i for i, n in enumerate(nodes)}
+    sink = 1 + len(titles) + len(nodes)
+    infinite = sum(demand.get(t, 0) for t in titles) + 1
+    capacity: Dict[Tuple[int, int], int] = {}
+    adjacency: Dict[int, List[int]] = {v: [] for v in range(sink + 1)}
+
+    def add_edge(u: int, v: int, cap: int) -> None:
+        capacity[(u, v)] = capacity.get((u, v), 0) + cap
+        if v not in adjacency[u]:
+            adjacency[u].append(v)
+        if u not in adjacency[v]:
+            adjacency[v].append(u)
+        capacity.setdefault((v, u), 0)
+
+    for title in titles:
+        add_edge(0, title_index[title], int(demand[title]))
+        for node in placement.replicas(title):
+            add_edge(title_index[title], node_index[node], infinite)
+    for node in nodes:
+        add_edge(node_index[node], sink, per_node_streams)
+    flow = 0
+    while True:
+        # BFS for the shortest augmenting path (deterministic: the
+        # adjacency lists are built in placement order).
+        parent: Dict[int, int] = {0: 0}
+        queue = [0]
+        while queue and sink not in parent:
+            u = queue.pop(0)
+            for v in adjacency[u]:
+                if v not in parent and capacity[(u, v)] > 0:
+                    parent[v] = u
+                    queue.append(v)
+        if sink not in parent:
+            return flow
+        bottleneck = infinite
+        v = sink
+        while v != 0:
+            u = parent[v]
+            bottleneck = min(bottleneck, capacity[(u, v)])
+            v = u
+        v = sink
+        while v != 0:
+            u = parent[v]
+            capacity[(u, v)] -= bottleneck
+            capacity[(v, u)] += bottleneck
+            v = u
+        flow += bottleneck
+
+
+@dataclass(frozen=True)
+class ClusterBounds:
+    """The analytical envelope of one cluster configuration."""
+
+    nodes: int
+    per_node_streams: int
+    full_catalog: int
+    single_video: Tuple[Tuple[str, int], ...]
+    total_replicas: int
+    storage_ok: Optional[bool] = None
+    demand_total: Optional[int] = None
+    demand_satisfiable: Optional[int] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "nodes": self.nodes,
+            "per_node_streams": self.per_node_streams,
+            "full_catalog": self.full_catalog,
+            "single_video": {
+                title: bound for title, bound in self.single_video
+            },
+            "total_replicas": self.total_replicas,
+            "storage_ok": self.storage_ok,
+            "demand_total": self.demand_total,
+            "demand_satisfiable": self.demand_satisfiable,
+        }
+
+
+def bounds_for_placement(
+    placement: PlacementMap,
+    nodes: int,
+    per_node_streams: int,
+    per_node_titles: Optional[int] = None,
+    demand: Optional[Mapping[str, int]] = None,
+) -> ClusterBounds:
+    """Every analytical bound for one placement, in one record.
+
+    ``per_node_titles`` enables the storage-feasibility check;
+    ``demand`` (streams wanted per title) enables the max-flow
+    satisfiability bound.
+    """
+    counts = placement.replica_counts()
+    single = tuple(
+        (title, single_video_bound(counts[title], per_node_streams))
+        for title in placement.titles()
+    )
+    total_replicas = sum(counts.values())
+    storage_ok = (
+        storage_feasible(total_replicas, nodes, per_node_titles)
+        if per_node_titles is not None else None
+    )
+    demand_total = None
+    demand_flow = None
+    if demand is not None:
+        demand_total = sum(int(v) for v in demand.values())
+        demand_flow = demand_max_flow(
+            placement, demand, per_node_streams
+        )
+    return ClusterBounds(
+        nodes=nodes,
+        per_node_streams=per_node_streams,
+        full_catalog=full_catalog_bound(nodes, per_node_streams),
+        single_video=single,
+        total_replicas=total_replicas,
+        storage_ok=storage_ok,
+        demand_total=demand_total,
+        demand_satisfiable=demand_flow,
+    )

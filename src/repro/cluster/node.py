@@ -1,0 +1,206 @@
+"""One cluster node: a MediaServer owning its own drive array and cache.
+
+A :class:`ClusterNode` wraps one :class:`repro.server.MediaServer`
+(and, through it, a private drive, storage manager, rope server, block
+cache, and §3.4 admission controller) behind the cluster-facing
+concerns the router needs:
+
+* the **title -> local rope** map — clients address catalog titles, the
+  node resolves them to the rope it recorded its replica into;
+* **admission slack** — how many more cluster sessions the node will
+  accept per chunk epoch (the router's least-loaded choice reads this);
+* **liveness** — a node killed by the cluster fault plan refuses all
+  further work, and a :class:`repro.faults.FaultInjector` with an
+  immediate HEAD_FAILURE is attached to its drive so any stray access
+  fails fast rather than silently succeeding.
+
+Nodes never talk to each other; all cross-node decisions (routing,
+handoff) live in :class:`repro.cluster.MediaCluster`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.api import NodeStatus, OpenSessionRequest, ServeResult
+from repro.config import TESTBED_1991
+from repro.disk import build_drive
+from repro.errors import ParameterError
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.fs import MultimediaStorageManager
+from repro.media.frames import frames_for_duration
+from repro.rope import Media, MultimediaRopeServer
+from repro.server.media_server import MediaServer
+
+from repro.cluster.placement import CatalogTitle
+
+__all__ = ["ClusterNode", "build_node"]
+
+
+class ClusterNode:
+    """One shard of the cluster: a MediaServer plus routing metadata."""
+
+    def __init__(
+        self,
+        node_id: str,
+        server: MediaServer,
+        capacity: int,
+    ):
+        if not node_id:
+            raise ParameterError("node_id must be non-empty")
+        if capacity < 1:
+            raise ParameterError(
+                f"node {node_id}: capacity must be >= 1, got {capacity}"
+            )
+        self.node_id = node_id
+        self.server = server
+        #: Cluster sessions the node accepts concurrently per epoch.
+        self.capacity = capacity
+        self.alive = True
+        self.degraded = False
+        #: Cluster sessions currently assigned here.
+        self.active = 0
+        #: title -> the node's local rope id for its replica.
+        self.local_ropes: Dict[str, str] = {}
+        #: MediaServer session ids already attributed to earlier calls
+        #: (warm-ups included), so each serve's new statuses separate.
+        self._seen_sessions: Set[str] = set()
+
+    # -- catalog ------------------------------------------------------------------
+
+    def record_title(
+        self,
+        title: CatalogTitle,
+        clients: Sequence[str],
+    ) -> str:
+        """Record this node's replica of *title*; returns the rope id.
+
+        Every replica records from the same deterministic frame source
+        (``title_id`` itself), so two replicas of a title are
+        bit-identical strands and a handed-off session resumes on
+        exactly the content it left.
+        """
+        if title.title_id in self.local_ropes:
+            raise ParameterError(
+                f"node {self.node_id} already holds {title.title_id!r}"
+            )
+        frames = frames_for_duration(
+            TESTBED_1991.video, title.seconds, source=title.title_id
+        )
+        request_id, rope_id = self.server.mrs.record(
+            "librarian", frames=frames, play_access=tuple(clients)
+        )
+        self.server.mrs.stop(request_id)
+        self.local_ropes[title.title_id] = rope_id
+        return rope_id
+
+    def rope_for(self, title_id: str) -> str:
+        """The local rope holding *title_id* (KeyError if not a replica)."""
+        return self.local_ropes[title_id]
+
+    def holds(self, title_id: str) -> bool:
+        """Whether this node stores a replica of *title_id*."""
+        return title_id in self.local_ropes
+
+    def title_duration(self, title_id: str) -> float:
+        """Recorded duration of the node's replica of *title_id*."""
+        return self.server.mrs.get_rope(self.rope_for(title_id)).duration
+
+    def warm(self, title_id: str) -> ServeResult:
+        """Play one warm-up session so the title's blocks go resident."""
+        result, _ = self.serve([
+            OpenSessionRequest(
+                client_id="warmer",
+                rope_id=self.rope_for(title_id),
+                arrival=0.0,
+                media=Media.VIDEO,
+            )
+        ])
+        return result
+
+    # -- routing state ------------------------------------------------------------
+
+    def has_slack(self) -> bool:
+        """Whether the router may admit one more session here."""
+        return (
+            self.alive and not self.degraded and self.active < self.capacity
+        )
+
+    def degrade(self) -> None:
+        """Drain the node: finish current chunks, accept nothing new."""
+        self.degraded = True
+
+    def kill(self) -> None:
+        """The node's mechanism dies; its drive fails all later access."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.active = 0
+        self.server.mrs.msm.drive.attach_injector(
+            FaultInjector(
+                FaultPlan(
+                    [FaultSpec(kind=FaultKind.HEAD_FAILURE, at_op=0)]
+                )
+            )
+        )
+
+    def status(self) -> NodeStatus:
+        """The node's cluster-addressed health snapshot."""
+        return NodeStatus(
+            node_id=self.node_id,
+            alive=self.alive,
+            degraded=self.degraded,
+            sessions=self.active,
+            titles=tuple(sorted(self.local_ropes)),
+        )
+
+    # -- serving ------------------------------------------------------------------
+
+    def serve(
+        self, requests: Sequence[OpenSessionRequest]
+    ) -> Tuple[ServeResult, List]:
+        """Serve one chunk epoch; returns (result, new statuses).
+
+        The second element is the statuses of sessions this call
+        created, in the MediaServer's admission order — the router
+        matches them back to its cluster sessions.
+        """
+        if not self.alive:
+            raise ParameterError(
+                f"node {self.node_id} is dead and cannot serve"
+            )
+        result = self.server.serve(requests)
+        fresh = [
+            status
+            for status in result.statuses
+            if status.session_id not in self._seen_sessions
+        ]
+        self._seen_sessions.update(s.session_id for s in fresh)
+        return result, fresh
+
+
+def build_node(
+    node_id: str,
+    capacity: int,
+    cache_blocks: int = 512,
+    batch_window: float = 0.25,
+    obs=None,
+) -> ClusterNode:
+    """A ClusterNode over a fresh testbed drive and storage manager."""
+    profile = TESTBED_1991
+    drive = build_drive()
+    msm = MultimediaStorageManager(
+        drive,
+        profile.video,
+        profile.audio,
+        profile.video_device,
+        profile.audio_device,
+        obs=obs,
+    )
+    server = MediaServer(
+        MultimediaRopeServer(msm),
+        batch_window=batch_window,
+        cache_blocks=cache_blocks,
+        obs=obs,
+    )
+    return ClusterNode(node_id=node_id, server=server, capacity=capacity)

@@ -1,0 +1,715 @@
+"""The cluster router: placement-aware admission, chunked serving, handoff.
+
+:class:`MediaCluster` is the cluster-level front door.  It speaks the
+same :mod:`repro.api` types a single :class:`~repro.server.MediaServer`
+does — clients submit :class:`~repro.api.OpenSessionRequest` with a
+catalog *title* in ``rope_id`` and get a
+:class:`~repro.api.ClusterServeResult` back — and adds the three
+distributed concerns:
+
+**Routing.**  Each open is admitted onto the least-loaded live replica
+holding the title (ties break on the placement map's replica order).
+When no replica has slack the refusal is the typed
+:attr:`~repro.api.RejectReason.NO_REPLICA`; an unknown title is
+:attr:`~repro.api.RejectReason.UNKNOWN_ROPE` — overload never surfaces
+as an exception, exactly like the single-server contract.
+
+**Chunked playback.**  A cluster session's interval is split into
+``chunks`` equal sub-intervals; each chunk is one MediaServer epoch on
+the session's current node.  Chunk boundaries are where a session may
+change nodes, so finer chunking bounds how much playback a node death
+can strand.
+
+**Deterministic failure + handoff.**  The cluster reuses
+:mod:`repro.faults` as its failure model: a
+:class:`~repro.faults.FaultSpec` with ``HEAD_FAILURE`` and
+``drive_index = node index`` kills that node at the chunk boundary
+``at_op`` (or at the first boundary whose elapsed simulated time
+reaches ``at_time``); TRANSIENT/MEDIA_DEFECT specs are forwarded to the
+node's private drive injector at construction.  When a node dies, every
+session it was serving is handed off to the least-loaded surviving
+replica and resumes at its next chunk; a handoff is **clean** when the
+viewer saw no miss or skip from then on.  Each decision is recorded as
+a :class:`~repro.api.HandoffRecord`.
+
+All decisions are pure functions of (requests, placement, fault plan),
+so two runs with the same inputs produce byte-identical
+``ClusterServeResult.to_dict()`` output — placement map, admission
+order, and handoffs included.
+
+Observability crosses nodes: the router shares one
+:class:`~repro.obs.Observability` with every node, records a
+``cluster.request`` root span per session with ``cluster.route`` /
+``cluster.serve`` / ``cluster.handoff`` children attributed to node
+ids, keeps per-title and per-node counters, and adds the
+``handoff-clean`` objective (:data:`CLUSTER_SLOS`) on top of the stock
+SLO set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api import (
+    ClusterServeResult,
+    HandoffRecord,
+    Media,
+    NodeServeResult,
+    OpenSessionRequest,
+    OpenSessionResponse,
+    RejectReason,
+    ServeResult,
+    SessionState,
+    SessionStatus,
+)
+from repro.errors import ParameterError
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.obs.slo import DEFAULT_SLOS, Slo
+
+from repro.cluster.node import ClusterNode
+from repro.cluster.placement import PlacementMap
+
+__all__ = ["CLUSTER_SLOS", "MediaCluster"]
+
+#: The stock cluster objective set: everything a single server promises
+#: plus ">= 90% of handoffs resume without a continuity break" — the
+#: distributed-VoD acceptance criterion.
+CLUSTER_SLOS: Tuple[Slo, ...] = DEFAULT_SLOS + (
+    Slo("handoff-clean", "handoff_clean_ratio", ">=", 0.9, "final"),
+)
+
+
+@dataclass
+class _ClusterSession:
+    """Router-side state of one cluster session."""
+
+    session_id: str
+    client_id: str
+    title_id: str
+    media: Media
+    arrival: float
+    start: float
+    length: float
+    node_id: str
+    state: SessionState = SessionState.PLAYING
+    handoffs: int = 0
+    blocks_delivered: int = 0
+    misses: int = 0
+    skips: int = 0
+    startup_latency: float = 0.0
+    cache_admitted: bool = True
+    #: Misses + skips accumulated at or after the first handoff chunk
+    #: (what decides whether the handoffs were clean).
+    glitches_after_handoff: int = 0
+    reject: Optional[RejectReason] = None
+    root_span: object = None
+    handoff_chunks: List[int] = field(default_factory=list)
+
+    def status(self) -> SessionStatus:
+        return SessionStatus(
+            session_id=self.session_id,
+            client_id=self.client_id,
+            rope_id=self.title_id,
+            state=self.state,
+            blocks_delivered=self.blocks_delivered,
+            misses=self.misses,
+            skips=self.skips,
+            startup_latency=self.startup_latency,
+            cache_admitted=self.cache_admitted,
+            node_id=self.node_id,
+            handoffs=self.handoffs,
+        )
+
+
+@dataclass
+class _PendingHandoff:
+    """A handoff decision awaiting its final clean/broken verdict."""
+
+    session_id: str
+    title_id: str
+    from_node: str
+    to_node: Optional[str]
+    at_chunk: int
+    blocks_before: int
+    detail: str
+
+
+class MediaCluster:
+    """N sharded MediaServers behind one typed cluster API."""
+
+    def __init__(
+        self,
+        nodes: Sequence[ClusterNode],
+        placement: PlacementMap,
+        fault_plan: Optional[FaultPlan] = None,
+        obs=None,
+    ):
+        if not nodes:
+            raise ParameterError("a cluster needs at least one node")
+        ids = [node.node_id for node in nodes]
+        if len(set(ids)) != len(ids):
+            raise ParameterError(f"duplicate node ids: {ids}")
+        self.nodes: Tuple[ClusterNode, ...] = tuple(nodes)
+        self._by_id: Dict[str, ClusterNode] = {
+            node.node_id: node for node in nodes
+        }
+        for title, replicas in placement.assignments:
+            for node_id in replicas:
+                if node_id not in self._by_id:
+                    raise ParameterError(
+                        f"placement assigns {title!r} to unknown node "
+                        f"{node_id!r}"
+                    )
+        self.placement = placement
+        self.obs = obs
+        self._spans = None
+        if obs is not None and obs.tracer.enabled:
+            self._spans = obs.tracer
+        self._session_ids = itertools.count(1)
+        self._sessions: Dict[str, _ClusterSession] = {}
+        #: (chunk_boundary_index or None, at_time or None, node_index)
+        #: — HEAD_FAILURE specs become node kills at chunk boundaries.
+        self._kills: List[Tuple[Optional[int], Optional[float], int]] = []
+        if fault_plan is not None:
+            self._apply_fault_plan(fault_plan)
+
+    # -- fault plan ---------------------------------------------------------------
+
+    def _apply_fault_plan(self, plan: FaultPlan) -> None:
+        """Interpret the plan cluster-wide: ``drive_index`` names a node.
+
+        HEAD_FAILURE kills the whole node at a chunk boundary (``at_op``
+        counts boundaries, not drive accesses, at cluster scope); other
+        kinds are forwarded to that node's private drive injector, so
+        per-block faults keep their single-drive semantics.
+        """
+        for spec in plan:
+            if spec.drive_index >= len(self.nodes):
+                raise ParameterError(
+                    f"fault plan targets node index {spec.drive_index}, "
+                    f"but the cluster has {len(self.nodes)} node(s)"
+                )
+        for index, node in enumerate(self.nodes):
+            sub = plan.for_drive(index)
+            drive_faults = [
+                spec for spec in sub
+                if spec.kind is not FaultKind.HEAD_FAILURE
+            ]
+            if drive_faults:
+                node.server.mrs.msm.drive.attach_injector(
+                    FaultInjector(FaultPlan(drive_faults, seed=plan.seed))
+                )
+            for spec in sub:
+                if spec.kind is FaultKind.HEAD_FAILURE:
+                    self._kills.append((spec.at_op, spec.at_time, index))
+
+    # -- counters -----------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.obs is not None:
+            self.obs.registry.counter(name).inc(amount)
+
+    # -- admission ----------------------------------------------------------------
+
+    def route(self, title_id: str) -> Optional[ClusterNode]:
+        """The least-loaded live replica with slack (None when none).
+
+        Load is the node's active cluster-session count; ties break on
+        the placement map's replica order, so routing is deterministic.
+        """
+        if not self.placement.has_title(title_id):
+            return None
+        best: Optional[ClusterNode] = None
+        for node_id in self.placement.replicas(title_id):
+            node = self._by_id[node_id]
+            if not node.has_slack():
+                continue
+            if best is None or node.active < best.active:
+                best = node
+        return best
+
+    def _reject(
+        self,
+        request: OpenSessionRequest,
+        reason: RejectReason,
+        detail: str,
+    ) -> OpenSessionResponse:
+        session = _ClusterSession(
+            session_id=f"S{next(self._session_ids):04d}",
+            client_id=request.client_id,
+            title_id=request.rope_id,
+            media=request.media,
+            arrival=request.arrival,
+            start=request.start,
+            length=0.0,
+            node_id="",
+            state=SessionState.REJECTED,
+            cache_admitted=False,
+            reject=reason,
+        )
+        self._sessions[session.session_id] = session
+        self._count("server.sessions_rejected")
+        self._count(f"server.reject.{reason.value}")
+        self._count("cluster.rejects")
+        if self._spans is not None:
+            span = self._spans.start_span(
+                "cluster.request",
+                request.arrival,
+                session=session.session_id,
+                attrs={"title": request.rope_id, "reject": reason.value},
+            )
+            self._spans.end_span(span, request.arrival, status="rejected")
+        return OpenSessionResponse(
+            session_id=session.session_id,
+            accepted=False,
+            reject=reason,
+            detail=detail,
+        )
+
+    # -- serving ------------------------------------------------------------------
+
+    def serve(
+        self,
+        requests: Sequence[OpenSessionRequest],
+        chunks: int = 1,
+    ) -> ClusterServeResult:
+        """Route, serve in chunk epochs, hand off around node deaths."""
+        if chunks < 1:
+            raise ParameterError(f"chunks must be >= 1, got {chunks}")
+        for request in requests:
+            if not isinstance(request, OpenSessionRequest):
+                raise ParameterError(
+                    f"cluster serve() got {type(request).__name__}; "
+                    "the cluster API admits OpenSessionRequest only"
+                )
+        rejects: List[OpenSessionResponse] = []
+        admission_order: List[Tuple[str, str]] = []
+        admitted: List[_ClusterSession] = []
+        ordered = sorted(
+            range(len(requests)),
+            key=lambda i: (requests[i].arrival, i),
+        )
+        for index in ordered:
+            request = requests[index]
+            title = request.rope_id
+            if not self.placement.has_title(title):
+                rejects.append(self._reject(
+                    request, RejectReason.UNKNOWN_ROPE,
+                    f"no catalog title {title!r}",
+                ))
+                continue
+            node = self.route(title)
+            if node is None:
+                rejects.append(self._reject(
+                    request, RejectReason.NO_REPLICA,
+                    f"no live replica of {title!r} has admission slack "
+                    f"(replicas: "
+                    f"{', '.join(self.placement.replicas(title))})",
+                ))
+                continue
+            duration = node.title_duration(title)
+            length = (
+                request.length if request.length is not None
+                else max(duration - request.start, 0.0)
+            )
+            session = _ClusterSession(
+                session_id=f"S{next(self._session_ids):04d}",
+                client_id=request.client_id,
+                title_id=title,
+                media=request.media,
+                arrival=request.arrival,
+                start=request.start,
+                length=length,
+                node_id=node.node_id,
+            )
+            self._sessions[session.session_id] = session
+            node.active += 1
+            admitted.append(session)
+            admission_order.append((session.session_id, node.node_id))
+            self._count("server.sessions_opened")
+            self._count(f"cluster.opens.{title}")
+            self._count(f"cluster.routed.{node.node_id}")
+            if self._spans is not None:
+                root = self._spans.start_span(
+                    "cluster.request",
+                    request.arrival,
+                    session=session.session_id,
+                    attrs={"title": title, "client": request.client_id},
+                )
+                session.root_span = root
+                route_span = self._spans.start_span(
+                    "cluster.route",
+                    request.arrival,
+                    parent=root,
+                    attrs={"node": node.node_id},
+                )
+                self._spans.end_span(route_span, request.arrival)
+        per_node_results: Dict[str, List[ServeResult]] = {
+            node.node_id: [] for node in self.nodes
+        }
+        pending_handoffs: List[_PendingHandoff] = []
+        for chunk in range(chunks):
+            self._serve_chunk(
+                admitted, chunk, chunks, per_node_results, rejects
+            )
+            self._apply_kills(
+                admitted, chunk, chunks, pending_handoffs, rejects
+            )
+        return self._finalize(
+            admitted, rejects, admission_order,
+            per_node_results, pending_handoffs, chunks,
+        )
+
+    def _chunk_interval(
+        self, session: _ClusterSession, chunk: int, chunks: int
+    ) -> Tuple[float, float]:
+        """The (start, length) sub-interval of one chunk epoch."""
+        chunk_length = session.length / chunks
+        start = session.start + chunk * chunk_length
+        if chunk == chunks - 1:
+            # The last chunk absorbs float remainder so the union of
+            # chunks is exactly the requested interval.
+            length = session.start + session.length - start
+        else:
+            length = chunk_length
+        return start, length
+
+    def _serve_chunk(
+        self,
+        admitted: List[_ClusterSession],
+        chunk: int,
+        chunks: int,
+        per_node_results: Dict[str, List[ServeResult]],
+        rejects: List[OpenSessionResponse],
+    ) -> None:
+        """Run chunk epoch *chunk* on every node that has sessions."""
+        for node in self.nodes:
+            if not node.alive:
+                continue
+            mine = [
+                session for session in admitted
+                if session.node_id == node.node_id
+                and session.state is SessionState.PLAYING
+            ]
+            if not mine:
+                continue
+            opens: List[OpenSessionRequest] = []
+            for session in mine:
+                start, length = self._chunk_interval(session, chunk, chunks)
+                opens.append(
+                    OpenSessionRequest(
+                        client_id=session.client_id,
+                        rope_id=node.rope_for(session.title_id),
+                        arrival=session.arrival,
+                        start=start,
+                        length=length,
+                        media=session.media,
+                    )
+                )
+            result, fresh = node.serve(opens)
+            per_node_results[node.node_id].append(result)
+            self._merge_chunk(
+                node, mine, result, fresh, chunk, chunks, rejects
+            )
+
+    def _merge_chunk(
+        self,
+        node: ClusterNode,
+        mine: List[_ClusterSession],
+        result: ServeResult,
+        fresh: List[SessionStatus],
+        chunk: int,
+        chunks: int,
+        rejects: List[OpenSessionResponse],
+    ) -> None:
+        """Fold one node epoch's statuses back into cluster sessions.
+
+        Statuses are matched by (client, rope) key: the node admits the
+        epoch's opens in arrival order and assigns session ids in that
+        order, and ``mine`` is in the same arrival order, so popping
+        each key's statuses in session-id order pairs every cluster
+        session with the node session its open created.
+        """
+        reject_reasons: Dict[str, RejectReason] = {
+            response.session_id: response.reject
+            for response in result.rejects
+            if response.reject is not None
+        }
+        buckets: Dict[Tuple[str, str], List[SessionStatus]] = {}
+        for status in fresh:
+            key = (status.client_id, status.rope_id)
+            buckets.setdefault(key, []).append(status)
+        for statuses in buckets.values():
+            statuses.sort(key=lambda s: s.session_id)
+        for session in mine:
+            key = (session.client_id, node.rope_for(session.title_id))
+            bucket = buckets.get(key)
+            if not bucket:
+                raise ParameterError(
+                    f"node {node.node_id} returned no status for "
+                    f"cluster session {session.session_id} chunk {chunk}"
+                )
+            status = bucket.pop(0)
+            if status.state is SessionState.REJECTED:
+                reason = reject_reasons.get(
+                    status.session_id, RejectReason.CAPACITY
+                )
+                session.state = SessionState.REJECTED
+                session.reject = reason
+                node.active = max(node.active - 1, 0)
+                self._count("cluster.rejects")
+                rejects.append(
+                    OpenSessionResponse(
+                        session_id=session.session_id,
+                        accepted=False,
+                        reject=reason,
+                        detail=(
+                            f"node {node.node_id} refused chunk {chunk}"
+                        ),
+                    )
+                )
+                self._end_root(session, status="rejected")
+                continue
+            session.blocks_delivered += status.blocks_delivered
+            session.misses += status.misses
+            session.skips += status.skips
+            if chunk == 0:
+                session.startup_latency = status.startup_latency
+            session.cache_admitted = (
+                session.cache_admitted and status.cache_admitted
+            )
+            if session.handoffs:
+                session.glitches_after_handoff += (
+                    status.misses + status.skips
+                )
+            if self._spans is not None and session.root_span is not None:
+                start, length = self._chunk_interval(session, chunk, chunks)
+                span = self._spans.start_span(
+                    "cluster.serve",
+                    start,
+                    parent=session.root_span,
+                    attrs={"node": node.node_id, "chunk": chunk},
+                )
+                self._spans.end_span(
+                    span,
+                    start + length,
+                    status=(
+                        "ok" if not (status.misses or status.skips)
+                        else "degraded"
+                    ),
+                )
+
+    def _apply_kills(
+        self,
+        admitted: List[_ClusterSession],
+        chunk: int,
+        chunks: int,
+        pending: List[_PendingHandoff],
+        rejects: List[OpenSessionResponse],
+    ) -> None:
+        """Kill scheduled nodes at the boundary after epoch *chunk*.
+
+        A HEAD_FAILURE spec fires at this boundary when its ``at_op``
+        equals ``chunk + 1``, or when its ``at_time`` falls within the
+        simulated playback the finished epochs cover.  A kill at or past
+        the final boundary changes nothing — the sessions already
+        finished.
+        """
+        boundary = chunk + 1
+        if boundary >= chunks:
+            return
+        for at_op, at_time, index in self._kills:
+            node = self.nodes[index]
+            if not node.alive:
+                continue
+            fires = False
+            if at_op is not None:
+                fires = at_op == boundary
+            elif at_time is not None:
+                # Elapsed simulated playback is boundary/chunks of the
+                # longest live interval; the kill fires at the first
+                # boundary whose elapsed time reaches at_time.
+                horizon = max(
+                    (s.length for s in admitted
+                     if s.state is SessionState.PLAYING),
+                    default=0.0,
+                )
+                fires = horizon * boundary / chunks >= at_time
+            if not fires:
+                continue
+            self._kill_node(
+                node, boundary, chunks, admitted, pending, rejects
+            )
+
+    def _kill_node(
+        self,
+        node: ClusterNode,
+        boundary: int,
+        chunks: int,
+        admitted: List[_ClusterSession],
+        pending: List[_PendingHandoff],
+        rejects: List[OpenSessionResponse],
+    ) -> None:
+        """Kill *node* and hand its live sessions to surviving replicas."""
+        node.kill()
+        self._count(f"cluster.node_deaths.{node.node_id}")
+        affected = [
+            session for session in admitted
+            if session.node_id == node.node_id
+            and session.state is SessionState.PLAYING
+        ]
+        for session in affected:
+            target = self.route(session.title_id)
+            self._count("cluster.handoffs_total")
+            if target is not None:
+                session.node_id = target.node_id
+                session.handoffs += 1
+                session.handoff_chunks.append(boundary)
+                target.active += 1
+                detail = (
+                    f"resumed at chunk {boundary} on {target.node_id}"
+                )
+                pending.append(_PendingHandoff(
+                    session_id=session.session_id,
+                    title_id=session.title_id,
+                    from_node=node.node_id,
+                    to_node=target.node_id,
+                    at_chunk=boundary,
+                    blocks_before=session.blocks_delivered,
+                    detail=detail,
+                ))
+            else:
+                detail = (
+                    f"no surviving replica of {session.title_id!r} "
+                    f"had slack at chunk {boundary}"
+                )
+                session.state = SessionState.REJECTED
+                session.reject = RejectReason.NO_REPLICA
+                self._count("server.sessions_rejected")
+                self._count(
+                    f"server.reject.{RejectReason.NO_REPLICA.value}"
+                )
+                self._count("cluster.rejects")
+                rejects.append(
+                    OpenSessionResponse(
+                        session_id=session.session_id,
+                        accepted=False,
+                        reject=RejectReason.NO_REPLICA,
+                        detail=detail,
+                    )
+                )
+                pending.append(_PendingHandoff(
+                    session_id=session.session_id,
+                    title_id=session.title_id,
+                    from_node=node.node_id,
+                    to_node=None,
+                    at_chunk=boundary,
+                    blocks_before=session.blocks_delivered,
+                    detail=detail,
+                ))
+            if self._spans is not None and session.root_span is not None:
+                at_time, _ = self._chunk_interval(session, boundary, chunks)
+                span = self._spans.start_span(
+                    "cluster.handoff",
+                    at_time,
+                    parent=session.root_span,
+                    attrs={
+                        "from": node.node_id,
+                        "to": (
+                            session.node_id
+                            if session.reject is None else None
+                        ),
+                        "chunk": boundary,
+                    },
+                )
+                self._spans.end_span(
+                    span, at_time,
+                    status="ok" if session.reject is None else "stranded",
+                )
+            if session.reject is not None:
+                self._end_root(session, status="rejected")
+
+    def _end_root(self, session: _ClusterSession, status: str) -> None:
+        if self._spans is None or session.root_span is None:
+            return
+        self._spans.end_span(
+            session.root_span,
+            session.arrival + session.length,
+            status=status,
+        )
+        session.root_span = None
+
+    # -- result assembly ----------------------------------------------------------
+
+    def _finalize(
+        self,
+        admitted: List[_ClusterSession],
+        rejects: List[OpenSessionResponse],
+        admission_order: List[Tuple[str, str]],
+        per_node_results: Dict[str, List[ServeResult]],
+        pending: List[_PendingHandoff],
+        chunks: int,
+    ) -> ClusterServeResult:
+        for session in admitted:
+            if session.state is SessionState.PLAYING:
+                session.state = SessionState.COMPLETED
+                node = self._by_id[session.node_id]
+                node.active = max(node.active - 1, 0)
+                self._end_root(
+                    session,
+                    status=(
+                        "ok" if not (session.misses or session.skips)
+                        else "degraded"
+                    ),
+                )
+        by_session = {
+            session.session_id: session for session in admitted
+        }
+        handoffs: List[HandoffRecord] = []
+        for entry in pending:
+            session = by_session[entry.session_id]
+            clean = (
+                entry.to_node is not None
+                and session.state is SessionState.COMPLETED
+                and session.glitches_after_handoff == 0
+            )
+            handoffs.append(HandoffRecord(
+                session_id=entry.session_id,
+                rope_id=entry.title_id,
+                from_node=entry.from_node,
+                to_node=entry.to_node,
+                at_chunk=entry.at_chunk,
+                blocks_before=entry.blocks_before,
+                clean=clean,
+                detail=entry.detail,
+            ))
+        clean_count = sum(1 for record in handoffs if record.clean)
+        if clean_count:
+            self._count("cluster.handoffs_clean", clean_count)
+        if self.obs is not None and self.obs.slo is not None:
+            horizon = max(
+                (s.arrival + s.length for s in admitted), default=0.0
+            )
+            self.obs.slo.finalize(horizon)
+        statuses = tuple(
+            self._sessions[sid].status()
+            for sid in sorted(self._sessions)
+        )
+        return ClusterServeResult(
+            statuses=statuses,
+            rejects=tuple(rejects),
+            per_node=tuple(
+                NodeServeResult(
+                    node_id=node.node_id,
+                    results=tuple(per_node_results[node.node_id]),
+                )
+                for node in self.nodes
+            ),
+            nodes=tuple(node.status() for node in self.nodes),
+            handoffs=tuple(handoffs),
+            placement=self.placement.assignments,
+            admission_order=tuple(admission_order),
+            chunks=chunks,
+        )

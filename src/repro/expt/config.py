@@ -23,6 +23,13 @@ Three workload kinds are understood:
     The tracing-overhead comparison
     (:func:`repro.perf.run_obs_overhead_scenario`) — consumes *seeds*
     only.
+``cluster-scale``
+    The sharded-VoD failover acceptance run
+    (:func:`repro.cluster.run_cluster_failover_scenario`): N nodes, a
+    replicated Zipf catalog, a deterministic mid-stream node kill, and
+    chunked inter-node handoff — consumes *seeds* only (each node owns
+    its private drive array and cache; the cluster axes live in the
+    workload params).
 
 Every config carries a canonical SHA-256 ``config_hash`` so a results
 manifest names exactly the matrix that produced it; two dicts with the
@@ -56,7 +63,7 @@ __all__ = [
 CONFIG_SCHEMA_VERSION = 1
 
 #: Workload kinds the expansion understands.
-WORKLOAD_KINDS = ("scale", "server-hot", "obs-overhead")
+WORKLOAD_KINDS = ("scale", "server-hot", "obs-overhead", "cluster-scale")
 
 #: Gate-tolerance comparison kinds (documented in repro.expt.gate).
 TOLERANCE_KINDS = ("relative_drop", "max", "min", "exact")
@@ -194,6 +201,17 @@ _WORKLOAD_PARAMS: Dict[str, Dict[str, tuple]] = {
         "streams": (int,),
         "blocks_per_stream": (int,),
         "repeats": (int,),
+    },
+    "cluster-scale": {
+        "nodes": (int,),
+        "sessions": (int,),
+        "titles": (int,),
+        "seconds": (int, float),
+        "per_node_streams": (int,),
+        "min_replicas": (int,),
+        "chunks": (int,),
+        "kill_node": (int,),
+        "kill_chunk": (int,),
     },
 }
 
@@ -469,7 +487,7 @@ class ExperimentConfig:
                                 ),
                                 spec=tuple(sorted(merged.items())),
                             ))
-            else:  # obs-overhead
+            elif spec.kind == "obs-overhead":
                 for seed in self.seeds:
                     merged = {
                         "streams": 8,
@@ -481,6 +499,32 @@ class ExperimentConfig:
                     cell_id = (
                         f"obs-overhead-n{merged['streams']}"
                         f"-b{merged['blocks_per_stream']}-seed{seed}"
+                    )
+                    cells.append(MatrixCell(
+                        cell_id=cell_id,
+                        kind=spec.kind,
+                        golden=spec.golden,
+                        spec=tuple(sorted(merged.items())),
+                    ))
+            else:  # cluster-scale
+                for seed in self.seeds:
+                    merged = {
+                        "nodes": 4,
+                        "sessions": 32,
+                        "titles": 8,
+                        "seconds": 2.0,
+                        "per_node_streams": 24,
+                        "min_replicas": 2,
+                        "chunks": 4,
+                        "kill_node": 1,
+                        "kill_chunk": 2,
+                        **params,
+                        "seed": seed,
+                    }
+                    cell_id = (
+                        f"cluster-n{merged['nodes']}"
+                        f"-s{merged['sessions']}"
+                        f"-t{merged['titles']}-seed{seed}"
                     )
                     cells.append(MatrixCell(
                         cell_id=cell_id,
@@ -528,8 +572,8 @@ SMOKE_CONFIG_DICT: Dict = {
     "name": "smoke",
     "description": (
         "Tiny end-to-end matrix for CI gating: one scale cell per "
-        "drive, server-hot with cache on/off, and a small tracing "
-        "overhead probe."
+        "drive, server-hot with cache on/off, a small tracing "
+        "overhead probe, and a three-node cluster failover cell."
     ),
     "axes": {
         "drives": ["testbed"],
@@ -557,6 +601,18 @@ SMOKE_CONFIG_DICT: Dict = {
             "blocks_per_stream": 100,
             "repeats": 3,
         },
+        {
+            "kind": "cluster-scale",
+            "nodes": 3,
+            "sessions": 12,
+            "titles": 4,
+            "seconds": 1.0,
+            "per_node_streams": 8,
+            "chunks": 3,
+            "kill_node": 1,
+            "kill_chunk": 1,
+            "golden": True,
+        },
     ],
     "tolerances": {
         # Wall-clock throughput varies across hosts; the smoke gate only
@@ -577,8 +633,9 @@ FULL_CONFIG_DICT: Dict = {
     "description": (
         "The BENCH_PERF-scale matrix: 10/100/1000-stream service-loop "
         "cells across drive topologies and arrival mixes, the 50-session "
-        "server acceptance workload with and without the cache, and the "
-        "tracing-overhead budget cell."
+        "server acceptance workload with and without the cache, the "
+        "tracing-overhead budget cell, and the four-node cluster "
+        "failover acceptance cell."
     ),
     "axes": {
         "drives": ["testbed", "table"],
@@ -608,6 +665,18 @@ FULL_CONFIG_DICT: Dict = {
             "streams": 100,
             "blocks_per_stream": 1000,
             "repeats": 5,
+        },
+        {
+            "kind": "cluster-scale",
+            "nodes": 4,
+            "sessions": 32,
+            "titles": 8,
+            "seconds": 2.0,
+            "per_node_streams": 24,
+            "chunks": 4,
+            "kill_node": 1,
+            "kill_chunk": 2,
+            "golden": True,
         },
     ],
     "tolerances": {

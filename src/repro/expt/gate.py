@@ -64,6 +64,11 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[str, float]] = {
     "slo_breaches": ("exact", 0.0),
     "slo_breach_events": ("exact", 0.0),
     "obs_overhead_ratio": ("max", 1.15),
+    # Cluster failover cells: the handoff count is seed-deterministic,
+    # and the ISSUE's acceptance floor (>90% of affected sessions handed
+    # off cleanly) gates as an absolute minimum, baseline-free.
+    "handoffs": ("exact", 0.0),
+    "handoff_clean_ratio": ("min", 0.9),
 }
 
 

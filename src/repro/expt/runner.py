@@ -65,6 +65,8 @@ METRIC_KEYS = (
     "cache_hit_ratio",
     "slo_breaches",
     "slo_breach_events",
+    "handoffs",
+    "handoff_clean_ratio",
 )
 
 #: Keys of the timing-dependent perf section.  ``obs_overhead_ratio``
@@ -249,6 +251,72 @@ def _run_obs_overhead_cell(cell: MatrixCell) -> CellResult:
     )
 
 
+def _run_cluster_cell(cell: MatrixCell) -> CellResult:
+    from repro.cluster import run_cluster_failover_scenario
+
+    spec = cell.spec_dict()
+    started = time.perf_counter()
+    run = run_cluster_failover_scenario(
+        nodes=spec["nodes"],
+        sessions=spec["sessions"],
+        titles=spec["titles"],
+        seconds=spec["seconds"],
+        per_node_streams=spec["per_node_streams"],
+        min_replicas=spec["min_replicas"],
+        chunks=spec["chunks"],
+        kill_node=spec["kill_node"],
+        kill_chunk=spec["kill_chunk"],
+        seed=spec["seed"],
+    )
+    wall = time.perf_counter() - started
+    result = run.result
+    delivered = sum(s.blocks_delivered for s in result.statuses)
+    hits = cache_misses = 0
+    for node in result.per_node:
+        for serve in node.results:
+            hits += serve.cache_stats.get("hits", 0)
+            cache_misses += serve.cache_stats.get("misses", 0)
+    breaches = breach_events = 0
+    obs = run.obs
+    if obs.slo is not None:
+        summary = obs.slo.summary_dict()
+        breaches = len(summary["breached_now"])
+        breach_events = sum(
+            1
+            for event in summary["breach_events"]
+            if event["to"] == "breach"
+        )
+    metrics = _metrics_template()
+    metrics.update(
+        blocks_delivered=delivered,
+        misses=result.total_misses,
+        rounds=sum(node.rounds for node in result.per_node),
+        continuity_ratio=_ratio(
+            result.continuous_sessions, result.admitted
+        ),
+        reject_rate=_ratio(len(result.rejects), len(result.statuses)),
+        cache_hit_ratio=_ratio(hits, hits + cache_misses),
+        slo_breaches=breaches,
+        slo_breach_events=breach_events,
+        handoffs=len(result.handoffs),
+        handoff_clean_ratio=_ratio(
+            result.handoffs_clean, len(result.handoffs)
+        ),
+    )
+    safe_wall = max(wall, 1e-9)
+    return CellResult(
+        cell_id=cell.cell_id,
+        kind=cell.kind,
+        golden=cell.golden,
+        spec=spec,
+        metrics=metrics,
+        perf={
+            "wall_time_s": wall,
+            "blocks_per_second": delivered / safe_wall,
+        },
+    )
+
+
 def run_cell(cell: MatrixCell) -> CellResult:
     """Execute one matrix cell (module-level, so workers can pickle it)."""
     if cell.kind == "scale":
@@ -257,6 +325,8 @@ def run_cell(cell: MatrixCell) -> CellResult:
         return _run_server_cell(cell)
     if cell.kind == "obs-overhead":
         return _run_obs_overhead_cell(cell)
+    if cell.kind == "cluster-scale":
+        return _run_cluster_cell(cell)
     raise ParameterError(f"unknown cell kind {cell.kind!r}")
 
 

@@ -41,6 +41,7 @@ _METRICS = (
     "deadline_slack_p99_s",
     "cache_hit_ratio",
     "reject_rate",
+    "handoff_clean_ratio",
 )
 
 
@@ -157,6 +158,12 @@ class SloMonitor:
             else:
                 numerator = rejected or 0
             return numerator / decided
+        if metric == "handoff_clean_ratio":
+            total = reg.peek_counter("cluster.handoffs_total")
+            if not total:
+                return None
+            clean = reg.peek_counter("cluster.handoffs_clean") or 0
+            return clean / total
         raise ParameterError(f"unknown slo metric {metric!r}")
 
     def _slack_quantile(self, q: float) -> Optional[float]:

@@ -13,6 +13,10 @@ the simulated continuity outcome, which the scenario result carries
 alongside for sanity checking.
 """
 
+from repro.perf.cluster_scenarios import (
+    ClusterScaleResult,
+    run_cluster_scale_bench,
+)
 from repro.perf.scenarios import (
     DRIVE_CONFIGS,
     ObsOverheadResult,
@@ -29,10 +33,12 @@ from repro.perf.sweep import SweepReport, run_sweep, scale_grid
 
 __all__ = [
     "DRIVE_CONFIGS",
+    "ClusterScaleResult",
     "ObsOverheadResult",
     "ScaleScenario",
     "ScaleResult",
     "ServerCompareResult",
+    "run_cluster_scale_bench",
     "run_obs_overhead_scenario",
     "run_scale_scenario",
     "run_server_compare_scenario",

@@ -10,7 +10,7 @@ from repro.service.besteffort import TextRequest, UnifiedService
 from repro.service.mixed_rounds import MixedRoundService, RecordStream
 from repro.service.recording import simulate_recording
 from repro.service.rounds import Admission, RoundRobinService, StreamState
-from repro.service.rpc import RpcCall, RpcChannel, stub_for
+from repro.service.rpc import RpcCall, RpcChannel, estimate_bytes, stub_for
 from repro.service.scan_order import (
     RoundTimeProbe,
     ScanOrderService,
@@ -43,6 +43,7 @@ __all__ = [
     "SessionResult",
     "StreamState",
     "VariableSpeedResult",
+    "estimate_bytes",
     "measured_capacity",
     "probe_round_times",
     "simulate_concurrent",

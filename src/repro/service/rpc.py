@@ -20,7 +20,7 @@ from typing import Any, Dict, List
 
 from repro.errors import ParameterError
 
-__all__ = ["RpcCall", "RpcChannel", "stub_for"]
+__all__ = ["RpcCall", "RpcChannel", "estimate_bytes", "stub_for"]
 
 
 @dataclass(frozen=True)
@@ -32,7 +32,7 @@ class RpcCall:
     result_bytes: int
 
 
-def _estimate_bytes(value: Any) -> int:
+def estimate_bytes(value: Any) -> int:
     """Rough marshalled size of a call argument/result.
 
     Deliberately crude — the point is relative magnitude (rope metadata is
@@ -47,21 +47,21 @@ def _estimate_bytes(value: Any) -> int:
     if isinstance(value, str):
         return len(value.encode("utf-8"))
     if isinstance(value, (list, tuple, set)):
-        return 8 + sum(_estimate_bytes(item) for item in value)
+        return 8 + sum(estimate_bytes(item) for item in value)
     if isinstance(value, dict):
         return 8 + sum(
-            _estimate_bytes(k) + _estimate_bytes(v) for k, v in value.items()
+            estimate_bytes(k) + estimate_bytes(v) for k, v in value.items()
         )
     if isinstance(value, enum.Enum):
         # An enum marshals as its value (the API types use string values).
-        return _estimate_bytes(value.value)
+        return estimate_bytes(value.value)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         # Typed request/response messages (repro.api and friends): a
         # small envelope plus every field, recursively — so nested
         # dataclasses and collections are sized instead of falling into
         # the scalar-attributes guess below.
         return 16 + sum(
-            _estimate_bytes(getattr(value, f.name))
+            estimate_bytes(getattr(value, f.name))
             for f in dataclasses.fields(value)
         )
     # Arbitrary objects: count their public scalar attributes.
@@ -74,7 +74,7 @@ def _estimate_bytes(value: Any) -> int:
         except Exception:
             continue
         if isinstance(attribute, (int, float, str, bool)):
-            total += _estimate_bytes(attribute)
+            total += estimate_bytes(attribute)
     return total
 
 
@@ -126,7 +126,7 @@ class RpcChannel:
             if span is not None:
                 kwargs = dict(kwargs)
                 kwargs["trace"] = span.wire(send_time)
-        argument_bytes = _estimate_bytes(list(args)) + _estimate_bytes(kwargs)
+        argument_bytes = estimate_bytes(list(args)) + estimate_bytes(kwargs)
         try:
             result = bound(*args, **kwargs)
         except Exception:
@@ -139,7 +139,7 @@ class RpcChannel:
             RpcCall(
                 method=method,
                 argument_bytes=argument_bytes,
-                result_bytes=_estimate_bytes(result),
+                result_bytes=estimate_bytes(result),
             )
         )
         return result

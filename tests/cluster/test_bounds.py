@@ -1,0 +1,115 @@
+"""Analytical distributed-VoD bounds: closed forms and max-flow."""
+
+import pytest
+
+from repro.cluster import (
+    CatalogTitle,
+    PlacementMap,
+    PlacementPolicy,
+    bounds_for_placement,
+    demand_max_flow,
+    full_catalog_bound,
+    single_video_bound,
+    storage_feasible,
+    zipf_popularity,
+)
+from repro.errors import ParameterError
+
+pytestmark = pytest.mark.cluster
+
+
+def _placement():
+    return PlacementMap(assignments=(
+        ("T01", ("node-00", "node-01")),
+        ("T02", ("node-01", "node-02")),
+        ("T03", ("node-02",)),
+    ))
+
+
+class TestClosedForms:
+    def test_single_video_bound_is_replicas_times_u(self):
+        assert single_video_bound(replicas=3, per_node_streams=8) == 24
+
+    def test_full_catalog_bound_is_nodes_times_u(self):
+        assert full_catalog_bound(nodes=20, per_node_streams=75) == 1500
+
+    def test_storage_feasibility(self):
+        assert storage_feasible(
+            total_replicas=8, nodes=4, per_node_titles=2
+        )
+        assert not storage_feasible(
+            total_replicas=9, nodes=4, per_node_titles=2
+        )
+
+
+class TestDemandMaxFlow:
+    def test_satisfies_demand_within_capacity(self):
+        flow = demand_max_flow(
+            _placement(),
+            demand={"T01": 4, "T02": 4, "T03": 2},
+            per_node_streams=8,
+        )
+        assert flow == 10
+
+    def test_capacity_caps_the_flow(self):
+        # All demand targets T03's single replica: capped at u.
+        flow = demand_max_flow(
+            _placement(), demand={"T03": 10}, per_node_streams=4
+        )
+        assert flow == 4
+
+    def test_shared_replica_contention(self):
+        # T01 and T02 both use node-01; with u=2 the three titles
+        # compete for 6 node-slots total but share node-01's 2.
+        flow = demand_max_flow(
+            _placement(),
+            demand={"T01": 4, "T02": 4, "T03": 4},
+            per_node_streams=2,
+        )
+        assert flow == 6
+
+    def test_rejects_unplaced_demand(self):
+        with pytest.raises(ParameterError):
+            demand_max_flow(
+                _placement(), demand={"T99": 1}, per_node_streams=4
+            )
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ParameterError):
+            demand_max_flow(
+                _placement(), demand={"T01": -1}, per_node_streams=4
+            )
+
+
+class TestBoundsForPlacement:
+    def test_bounds_record_shape(self):
+        catalog = [
+            CatalogTitle(f"T{r:02d}", 1.0, zipf_popularity(r))
+            for r in range(1, 5)
+        ]
+        placement = PlacementPolicy(min_replicas=2).plan(
+            catalog, [f"node-{i:02d}" for i in range(3)], 8
+        )
+        bounds = bounds_for_placement(
+            placement,
+            nodes=3,
+            per_node_streams=8,
+            per_node_titles=4,
+            demand={"T01": 5, "T02": 3},
+        )
+        payload = bounds.to_dict()
+        assert payload["full_catalog"] == 24
+        assert payload["demand_total"] == 8
+        assert payload["demand_satisfiable"] <= payload["demand_total"]
+        assert set(payload["single_video"]) == {
+            "T01", "T02", "T03", "T04",
+        }
+        assert payload["storage_ok"] is True
+
+    def test_single_video_entries_follow_replica_counts(self):
+        bounds = bounds_for_placement(
+            _placement(), nodes=3, per_node_streams=8
+        )
+        assert bounds.single_video == (
+            ("T01", 16), ("T02", 16), ("T03", 8),
+        )

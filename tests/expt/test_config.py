@@ -161,8 +161,27 @@ class TestExpansion:
         kinds = [c.kind for c in cells]
         assert kinds == [
             "scale", "server-hot", "server-hot", "obs-overhead",
+            "cluster-scale",
         ]
-        assert sum(1 for c in cells if c.golden) == 1
+        assert sum(1 for c in cells if c.golden) == 2
+
+    def test_cluster_consumes_seeds_only(self):
+        config = ExperimentConfig.from_dict(_minimal(
+            workloads=[{"kind": "cluster-scale", "nodes": 3,
+                        "sessions": 8, "titles": 4}],
+            axes={
+                "drives": ["testbed", "fast"],
+                "cache_blocks": [0, 64],
+                "batching": [True, False],
+                "seeds": [0, 7],
+            },
+        ))
+        cells = config.expand()
+        # drive/cache/batching axes must not multiply cluster cells.
+        assert len(cells) == 2
+        assert [c.cell_id for c in cells] == [
+            "cluster-n3-s8-t4-seed0", "cluster-n3-s8-t4-seed7",
+        ]
 
 
 class TestHashing:

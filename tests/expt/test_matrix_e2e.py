@@ -56,13 +56,19 @@ def test_smoke_matrix_gates_clean_against_baseline(manifest, baseline):
     assert set(baseline["cells"]) <= gated_cells
 
 
-def test_golden_cell_present_and_breach_free(manifest):
-    golden = [
-        record for record in manifest["cells"].values()
+def test_golden_cells_present_and_breach_free(manifest):
+    golden = {
+        record["kind"]: record
+        for record in manifest["cells"].values()
         if record["golden"]
-    ]
-    assert len(golden) == 1
-    assert golden[0]["metrics"]["slo_breaches"] == 0
+    }
+    # One acceptance cell each: server hot-strand and cluster failover.
+    assert set(golden) == {"server-hot", "cluster-scale"}
+    for record in golden.values():
+        assert record["metrics"]["slo_breaches"] == 0
+    cluster = golden["cluster-scale"]["metrics"]
+    assert cluster["handoffs"] >= 1
+    assert cluster["handoff_clean_ratio"] >= 0.9
 
 
 def test_injected_throughput_regression_fails_gate(manifest, baseline):

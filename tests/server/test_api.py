@@ -69,8 +69,17 @@ class TestSessionStatus:
             "session_id", "client_id", "rope_id", "request_id", "state",
             "blocks_delivered", "misses", "skips", "startup_latency",
             "batch_leader", "cache_admitted", "continuous",
+            "node_id", "handoffs",
         }
         assert payload["state"] == "completed"
+
+    def test_cluster_addressing_defaults_to_unplaced(self):
+        status = _status()
+        assert status.node_id is None
+        assert status.handoffs == 0
+        placed = _status(node_id="node-02", handoffs=1)
+        assert placed.to_dict()["node_id"] == "node-02"
+        assert placed.to_dict()["handoffs"] == 1
 
 
 class TestServeResult:
@@ -115,6 +124,68 @@ class TestServeResult:
         assert len(payload["sessions"]) == 3
 
 
+class TestClusterMessages:
+    def _cluster_result(self):
+        from repro.api import ClusterServeResult, HandoffRecord, NodeStatus
+
+        statuses = (
+            _status("S0001", node_id="node-00"),
+            _status("S0002", node_id="node-01", handoffs=1, misses=1),
+            _status("S0003", state=SessionState.REJECTED),
+        )
+        return ClusterServeResult(
+            statuses=statuses,
+            rejects=(
+                OpenSessionResponse(
+                    session_id="S0003", accepted=False,
+                    reject=RejectReason.NO_REPLICA,
+                ),
+            ),
+            nodes=(
+                NodeStatus(node_id="node-00", sessions=1),
+                NodeStatus(node_id="node-01", alive=False),
+            ),
+            handoffs=(
+                HandoffRecord(
+                    session_id="S0002", rope_id="T01",
+                    from_node="node-01", to_node="node-00",
+                    at_chunk=1, clean=True,
+                ),
+            ),
+            chunks=2,
+        )
+
+    def test_cluster_messages_are_frozen(self):
+        from repro.api import NodeStatus
+
+        node = NodeStatus(node_id="node-00")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            node.alive = False
+
+    def test_no_replica_is_a_typed_reject(self):
+        assert RejectReason.NO_REPLICA.value == "no_replica"
+
+    def test_admitted_excludes_rejected(self):
+        assert self._cluster_result().admitted == 2
+
+    def test_continuous_requires_glitch_free_completion(self):
+        # S0002 handed off but recorded a miss: not continuous.
+        assert self._cluster_result().continuous_sessions == 1
+
+    def test_handoff_record_round_trips(self):
+        record = self._cluster_result().handoffs[0]
+        payload = record.to_dict()
+        assert payload["from_node"] == "node-01"
+        assert payload["to_node"] == "node-00"
+        assert payload["clean"] is True
+
+    def test_to_dict_carries_nodes_and_handoffs(self):
+        payload = self._cluster_result().to_dict()
+        assert len(payload["nodes"]) == 2
+        assert len(payload["handoffs"]) == 1
+        assert payload["rejects"][0]["reject"] == "no_replica"
+
+
 class TestFacade:
     def test_api_types_reexported_at_top_level(self):
         assert repro.OpenSessionRequest is OpenSessionRequest
@@ -122,18 +193,22 @@ class TestFacade:
         assert repro.api is not None
         assert repro.server is not None
 
-    def test_deprecated_aliases_warn_but_resolve(self):
-        from repro.fs import MultimediaStorageManager
-        from repro.service import PlaybackSession
-        from repro.service.rpc import stub_for
+    def test_cluster_types_reexported_at_top_level(self):
+        from repro.api import ClusterServeResult, HandoffRecord
 
-        for name, target in (
-            ("MultimediaStorageManager", MultimediaStorageManager),
-            ("PlaybackSession", PlaybackSession),
-            ("stub_for", stub_for),
+        assert repro.ClusterServeResult is ClusterServeResult
+        assert repro.HandoffRecord is HandoffRecord
+        assert repro.MediaCluster.__name__ == "MediaCluster"
+        assert repro.cluster is not None
+
+    def test_deprecated_aliases_are_gone(self):
+        # The PEP 562 compatibility shims were removed in 2.0: old
+        # aliases now fail loudly instead of warning and resolving.
+        for name in (
+            "MultimediaStorageManager", "PlaybackSession", "stub_for",
         ):
-            with pytest.warns(DeprecationWarning):
-                assert getattr(repro, name) is target
+            with pytest.raises(AttributeError):
+                getattr(repro, name)
 
     def test_unknown_attribute_still_raises(self):
         with pytest.raises(AttributeError):

@@ -70,12 +70,12 @@ class TestStub:
 class TestMarshalledSizes:
     def test_enum_marshals_as_its_value(self):
         from repro.api import Media, RejectReason
-        from repro.service.rpc import _estimate_bytes
+        from repro.service.rpc import estimate_bytes
 
-        assert _estimate_bytes(Media.VIDEO) == len(
+        assert estimate_bytes(Media.VIDEO) == len(
             Media.VIDEO.value.encode("utf-8")
         )
-        assert _estimate_bytes(RejectReason.CAPACITY) == len(
+        assert estimate_bytes(RejectReason.CAPACITY) == len(
             RejectReason.CAPACITY.value.encode("utf-8")
         )
 
@@ -83,18 +83,18 @@ class TestMarshalledSizes:
         import dataclasses
 
         from repro.api import OpenSessionRequest
-        from repro.service.rpc import _estimate_bytes
+        from repro.service.rpc import estimate_bytes
 
         request = OpenSessionRequest(
             client_id="alice", rope_id="R0001", arrival=1.5
         )
         expected = 16 + sum(
-            _estimate_bytes(getattr(request, f.name))
+            estimate_bytes(getattr(request, f.name))
             for f in dataclasses.fields(request)
         )
-        assert _estimate_bytes(request) == expected
+        assert estimate_bytes(request) == expected
         # The nested enum field is sized by value, not attribute-guessed.
-        assert _estimate_bytes(request) > 16
+        assert estimate_bytes(request) > 16
 
     def test_api_messages_size_nonzero_through_a_channel(self):
         from repro.api import OpenSessionResponse
@@ -105,15 +105,111 @@ class TestMarshalledSizes:
             def reply(self, message):
                 return message
 
-        from repro.service.rpc import _estimate_bytes
+        from repro.service.rpc import estimate_bytes
 
         response = OpenSessionResponse(session_id="C0001", accepted=True)
         stub = stub_for(Echo(), channel)
         assert stub.reply(response) is response
         call = channel.calls[0]
-        assert call.result_bytes == _estimate_bytes(response) > 16
+        assert call.result_bytes == estimate_bytes(response) > 16
         # Arguments carry the args-list + kwargs-dict envelopes on top.
         assert call.argument_bytes == call.result_bytes + 16
+
+
+class TestSizingCompleteness:
+    @staticmethod
+    def _example(message_type):
+        """A minimal instance of one repro.api message dataclass."""
+        from repro.api import (
+            HandoffRecord,
+            NodeServeResult,
+            NodeStatus,
+            OpenSessionRequest,
+            OpenSessionResponse,
+            PauseRequest,
+            PlayRequest,
+            ResumeRequest,
+            ServeResult,
+            SessionState,
+            SessionStatus,
+            StopRequest,
+        )
+        from repro.api import ClusterServeResult
+
+        status = SessionStatus(
+            session_id="S0001", client_id="alice", rope_id="T01",
+            state=SessionState.COMPLETED,
+        )
+        examples = {
+            OpenSessionRequest: OpenSessionRequest(
+                client_id="alice", rope_id="T01"
+            ),
+            OpenSessionResponse: OpenSessionResponse(
+                session_id="S0001", accepted=True
+            ),
+            PlayRequest: PlayRequest(session_id="S0001"),
+            PauseRequest: PauseRequest(session_id="S0001"),
+            ResumeRequest: ResumeRequest(session_id="S0001"),
+            StopRequest: StopRequest(session_id="S0001"),
+            SessionStatus: status,
+            ServeResult: ServeResult(statuses=(status,)),
+            NodeStatus: NodeStatus(node_id="node-00"),
+            HandoffRecord: HandoffRecord(
+                session_id="S0001", rope_id="T01",
+                from_node="node-00", to_node="node-01", at_chunk=1,
+            ),
+            NodeServeResult: NodeServeResult(node_id="node-00"),
+            ClusterServeResult: ClusterServeResult(statuses=(status,)),
+        }
+        return examples.get(message_type)
+
+    def test_every_api_message_is_sized(self):
+        # The completeness gate: every dataclass repro.api exports —
+        # cluster-addressed messages included — must size through
+        # estimate_bytes as envelope + recursive fields.  A new message
+        # type without an example here fails loudly instead of falling
+        # into the scalar-attribute guess.
+        import dataclasses as dc
+
+        from repro import api
+        from repro.service.rpc import estimate_bytes
+
+        message_types = [
+            getattr(api, name)
+            for name in api.__all__
+            if isinstance(getattr(api, name), type)
+            and dc.is_dataclass(getattr(api, name))
+        ]
+        assert message_types, "repro.api exports no message dataclasses?"
+        for message_type in message_types:
+            example = self._example(message_type)
+            assert example is not None, (
+                f"{message_type.__name__} has no sizing example; "
+                "extend TestSizingCompleteness._example"
+            )
+            expected = 16 + sum(
+                estimate_bytes(getattr(example, f.name))
+                for f in dc.fields(example)
+            )
+            assert estimate_bytes(example) == expected, (
+                message_type.__name__
+            )
+            assert estimate_bytes(example) > 16, message_type.__name__
+
+    def test_cluster_messages_cross_a_channel(self):
+        from repro.api import NodeStatus
+        from repro.service.rpc import estimate_bytes
+
+        channel = RpcChannel("cluster-test")
+
+        class Echo:
+            def reply(self, message):
+                return message
+
+        stub = stub_for(Echo(), channel)
+        node = NodeStatus(node_id="node-07", sessions=3)
+        assert stub.reply(node) is node
+        assert channel.calls[0].result_bytes == estimate_bytes(node) > 16
 
 
 class TestBatchAdmissionLogging:

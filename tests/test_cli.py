@@ -108,28 +108,99 @@ class TestServe:
         assert payload["sessions"][-1]["state"] == "rejected"
 
 
+class TestCluster:
+    def test_cluster_smoke_emits_snapshot(self, capsys):
+        assert main(["cluster", "--smoke"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["metrics"]["counters"]
+        assert counters["cluster.handoffs_total"] >= 1
+        assert counters["cluster.handoffs_total"] == (
+            counters["cluster.handoffs_clean"]
+        )
+
+    def test_cluster_json_reports_bounds_and_placement(self, capsys):
+        assert main([
+            "cluster", "--nodes", "3", "--sessions", "8",
+            "--titles", "4", "--per-node-streams", "8",
+            "--seconds", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["admitted"] == 8
+        assert payload["summary"]["continuous"] == 8
+        assert payload["bounds"]["full_catalog"] == 24
+        assert set(payload["placement"]) == {
+            "T01", "T02", "T03", "T04",
+        }
+
+    def test_cluster_failover_hands_off_cleanly(self, capsys):
+        assert main(["cluster", "--failover", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        summary = payload["summary"]
+        assert summary["handoffs"] >= 1
+        assert summary["handoff_clean_ratio"] > 0.9
+        assert summary["continuous"] == summary["admitted"]
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
 
-    def test_scenario_commands_share_seed_and_json_options(self):
+    @staticmethod
+    def _subcommand_options(name):
         parser = build_parser()
         subparsers = next(
             a for a in parser._actions
             if isinstance(a, type(parser._subparsers._group_actions[0]))
         )
+        sub = subparsers.choices[name]
+        return {
+            option
+            for action in sub._actions
+            for option in action.option_strings
+        }
+
+    def test_scenario_commands_share_seed_and_json_options(self):
         for name in (
             "demo", "obs-report", "perf-sweep", "serve", "trace-export",
+            "cluster",
         ):
-            sub = subparsers.choices[name]
+            options = self._subcommand_options(name)
+            assert "--seed" in options, name
+            assert "--json" in options, name
+
+    def test_expt_subcommands_share_the_json_option(self):
+        # expt run/gate/diff take --json through the same shared
+        # builder as the scenario commands (seed does not apply: the
+        # matrix's seeds axis owns seeding).
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        expt = subparsers.choices["expt"]
+        nested = next(
+            a for a in expt._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        for name in ("run", "gate", "diff"):
+            sub = nested.choices[name]
             options = {
                 option
                 for action in sub._actions
                 for option in action.option_strings
             }
-            assert "--seed" in options, name
             assert "--json" in options, name
+            assert "--seed" not in options, name
+
+    def test_cluster_failover_flags_present(self):
+        options = self._subcommand_options("cluster")
+        for flag in (
+            "--nodes", "--sessions", "--titles", "--per-node-streams",
+            "--chunks", "--failover", "--kill-node", "--kill-chunk",
+            "--smoke",
+        ):
+            assert flag in options, flag
 
 
 class TestTraceExport:

@@ -95,6 +95,23 @@ class TestBenchPerfSchema:
         )
         assert compare["sessions"] >= compare["strands"] >= 1
         assert compare["wall_time_s"] >= 0
+        cluster = record["cluster_scale"]
+        assert {
+            "nodes", "sessions", "titles", "scale", "bounds",
+            "failover", "all_continuous", "within_bounds",
+        } <= set(cluster), cluster
+        assert cluster["all_continuous"] is True
+        assert cluster["within_bounds"] is True
+        assert cluster["scale"]["admitted"] == (
+            cluster["scale"]["continuous"]
+        )
+        assert cluster["scale"]["admitted"] <= (
+            cluster["bounds"]["full_catalog"]
+        )
+        assert cluster["failover"]["clean_ratio"] > 0.9
+        if record["mode"] == "full":
+            # The ISSUE acceptance scale: 1000+ sharded sessions.
+            assert cluster["scale"]["admitted"] >= 1000
         overhead = record["obs_overhead"]
         assert {
             "streams", "blocks_per_stream", "repeats", "wall_off_s",
@@ -180,7 +197,8 @@ class TestMarkers:
         config = tomllib.loads((ROOT / "pyproject.toml").read_text())
         markers = config["tool"]["pytest"]["ini_options"]["markers"]
         for name in (
-            "chaos", "golden", "matrix", "perf", "server", "trace",
+            "chaos", "cluster", "golden", "matrix", "perf", "server",
+            "trace",
         ):
             assert any(m.startswith(f"{name}:") for m in markers), name
 
@@ -236,6 +254,15 @@ class TestMarkers:
         assert "test_slo" in result.stdout
         assert "test_trace_integration" in result.stdout
 
+    def test_cluster_marker_selects_cluster_tests(self):
+        result = _run_pytest(
+            ["tests/cluster", "-m", "cluster", "--collect-only", "-q"]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "test_router" in result.stdout
+        assert "test_failover" in result.stdout
+        assert "test_bounds" in result.stdout
+
     def test_perf_marker_selects_perf_tests(self):
         result = _run_pytest(
             ["tests/perf", "-m", "perf", "--collect-only", "-q"]
@@ -261,6 +288,67 @@ class TestServeSmoke:
         assert counters["server.sessions_opened"] > 0
         assert counters["cache.hits"] > 0
         assert snapshot["audit"], "no admission audit entries"
+
+
+class TestPublicSurface:
+    #: The documented top-level surface (docs/API.md): message types,
+    #: the two deployment front ends, and the library submodules.
+    DOCUMENTED_ALL = [
+        "ClusterServeResult",
+        "HandoffRecord",
+        "Media",
+        "MediaCluster",
+        "MediaServer",
+        "NodeServeResult",
+        "NodeStatus",
+        "OpenSessionRequest",
+        "OpenSessionResponse",
+        "PauseRequest",
+        "PlayRequest",
+        "RejectReason",
+        "ResumeRequest",
+        "ServeResult",
+        "SessionState",
+        "SessionStatus",
+        "StopRequest",
+        "analysis",
+        "api",
+        "cluster",
+        "config",
+        "core",
+        "disk",
+        "errors",
+        "faults",
+        "fs",
+        "media",
+        "obs",
+        "rope",
+        "server",
+        "service",
+        "sim",
+        "units",
+        "workload",
+        "__version__",
+    ]
+
+    def test_facade_all_matches_documented_surface_exactly(self):
+        import repro
+
+        assert list(repro.__all__) == self.DOCUMENTED_ALL
+
+    def test_every_all_entry_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_no_deprecation_shim_remains(self):
+        import repro
+
+        assert not hasattr(repro, "__getattr__"), (
+            "the PEP 562 alias shim was removed in 2.0; nothing should "
+            "reintroduce module-level __getattr__"
+        )
 
 
 class TestLintConfig:
@@ -347,12 +435,14 @@ class TestCheckScript:
             "scripts/check.sh is not executable"
         )
 
-    def test_check_script_runs_all_three_gates(self):
-        # Lint, tier-1 tests, and the smoke matrix gate must all appear;
-        # a check.sh that quietly drops one is a CI hole.
+    def test_check_script_runs_every_gate(self):
+        # Lint, tier-1 tests, the smoke matrix gate, and the cluster
+        # smoke scenario must all appear; a check.sh that quietly drops
+        # one is a CI hole.
         text = (ROOT / "scripts" / "check.sh").read_text()
         assert "ruff" in text
         assert "pytest" in text
         assert "expt run --smoke" in text
         assert "expt gate" in text
+        assert "cluster --smoke" in text
         assert "set -euo pipefail" in text
