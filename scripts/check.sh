@@ -30,4 +30,7 @@ python -m repro expt gate --manifest results/smoke/matrix.json
 echo "== cluster smoke scenario =="
 python -m repro cluster --smoke
 
+echo "== profiler smoke =="
+python -m repro profile --smoke
+
 echo "check.sh: all gates passed"

@@ -11,9 +11,18 @@ Commands
     tables — the figure-regeneration harness without pytest.
 ``demo``
     The quickstart flow: derive policy, record a clip, play it back.
-``obs-report [--faults] [--json] [--profile-timers]``
+``obs-report [--faults] [--cluster] [--top N] [--json]``
     Run a canonical observed scenario and print its observability
-    report (or raw snapshot JSON) — see :mod:`repro.obs.scenarios`.
+    report (or raw snapshot JSON) — see :mod:`repro.obs.scenarios`;
+    with ``--cluster``, the federated cluster smoke scenario with
+    per-node metrics and profile rollups.
+``profile [--preset NAME] [--top N] [--smoke] [--json] [--trace-out F]``
+    Run a scenario under the deterministic cost-attribution profiler
+    (:class:`repro.obs.CostProfiler`) and print the ranked cost
+    centers; presets ``steady`` / ``server-hot`` / ``cluster`` /
+    ``scale`` (the n×1000-block service loop).  ``--json`` emits the
+    byte-stable profile section, ``--trace-out`` a Perfetto document
+    with per-phase counter tracks.
 ``perf-sweep [--streams N ...] [--blocks N] [--workers N] [--json]``
     Fan a grid of service-loop scale scenarios across worker processes
     and print simulator-throughput scores — see :mod:`repro.perf`.
@@ -41,7 +50,8 @@ Commands
     deltas between two manifests.
 
 Every scenario-running subcommand (``demo``, ``obs-report``,
-``perf-sweep``, ``serve``, ``cluster``, ``trace-export``) accepts
+``profile``, ``perf-sweep``, ``serve``, ``cluster``,
+``trace-export``) accepts
 ``--seed`` and ``--json`` via one shared option builder, and the
 ``expt`` subcommands take the ``--json`` half of the same builder, so
 scripted callers can rely on the same determinism and output contract
@@ -245,6 +255,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.scenarios import run_fault_scenario, run_steady_scenario
 
+    if args.cluster:
+        from repro.cluster import (
+            cluster_observability,
+            run_cluster_smoke_scenario,
+        )
+
+        obs = cluster_observability(args.seed, profile=True)
+        run = run_cluster_smoke_scenario(seed=args.seed, obs=obs)
+        if args.json:
+            print(run.snapshot(include_profile=args.profile_timers))
+        else:
+            print(run.obs.report(top=args.top))
+        result = run.result
+        return 0 if result.continuous_sessions == result.admitted else 1
     if args.faults:
         run = run_fault_scenario(
             seconds=args.seconds,
@@ -256,10 +280,114 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     if args.json:
         print(run.snapshot(include_profile=args.profile_timers))
     else:
-        print(run.obs.report())
+        print(run.obs.report(top=args.top))
         print()
         print(run.result.summary())
     return 0 if run.result.total_misses == run.result.total_skips else 1
+
+
+def _profile_scenario(args: argparse.Namespace):
+    """Run the requested ``repro profile`` preset; returns (obs, section)."""
+    from repro.obs.observer import Observability
+
+    if args.preset == "scale":
+        from repro.perf import run_profiled_scale_scenario
+
+        if args.smoke:
+            run = run_profiled_scale_scenario(
+                streams=4, blocks_per_stream=16, seed=args.seed,
+                name="profile-smoke",
+            )
+        else:
+            run = run_profiled_scale_scenario(
+                streams=args.streams,
+                blocks_per_stream=args.blocks,
+                seed=args.seed,
+            )
+        return run.obs, run.section
+    if args.preset == "steady":
+        from repro.obs.scenarios import run_steady_scenario
+
+        obs = Observability(seed=args.seed)
+        obs.enable_slos()
+        obs.enable_profiler()
+        run_steady_scenario(obs=obs)
+    elif args.preset == "server-hot":
+        from repro.server.scenarios import run_server_hot_scenario
+
+        obs = Observability.for_scale(seed=args.seed)
+        obs.enable_profiler()
+        run_server_hot_scenario(seed=args.seed, obs=obs)
+    else:  # cluster
+        from repro.cluster import (
+            cluster_observability,
+            run_cluster_smoke_scenario,
+        )
+
+        obs = cluster_observability(args.seed, profile=True)
+        run_cluster_smoke_scenario(seed=args.seed, obs=obs)
+    return obs, obs.profiler.summary_dict()
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    obs, section = _profile_scenario(args)
+    profiler = obs.profiler
+    share_sum = sum(
+        entry["share"] for entry in section["phases"].values()
+    )
+    # Attribution must account for the whole run: shares sum to 1
+    # whenever anything was recorded.
+    healthy = (
+        profiler.total_ops > 0 and abs(share_sum - 1.0) <= 1e-9
+    )
+    if args.trace_out:
+        document = obs.to_chrome_trace()
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            )
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+    elif args.smoke:
+        hottest = profiler.top_cost_centers(1)[0]
+        print(
+            f"profile smoke: {profiler.total_ops} ops, "
+            f"{profiler.total_cost:.6f}s modeled, hottest "
+            f"{hottest['phase']} ({hottest['share']:.1%}), share sum "
+            f"{share_sum:.12f}"
+        )
+    else:
+        print(f"profile: {args.preset} (seed {args.seed})")
+        print(
+            f"  total: {profiler.total_ops} ops, "
+            f"{profiler.total_cost:.6f}s modeled"
+        )
+        print("  cost centers:")
+        for entry in profiler.top_cost_centers(args.top):
+            print(
+                f"    {entry['phase']:<20} ops={entry['ops']:<10} "
+                f"cost={entry['cost_s']:.6f}s share={entry['share']:.4f}"
+            )
+        for drive, phases in sorted(section["per_drive"].items()):
+            cost = sum(stat["cost_s"] for stat in phases.values())
+            ops = sum(stat["ops"] for stat in phases.values())
+            print(
+                f"  drive {drive:<14} ops={ops:<10} cost={cost:.6f}s"
+            )
+        for node_id in obs.node_ids():
+            summary = profiler.node_summary(node_id)
+            if not summary:
+                continue
+            cost = sum(stat["cost_s"] for stat in summary.values())
+            ops = sum(stat["ops"] for stat in summary.values())
+            print(
+                f"  node {node_id:<15} ops={ops:<10} cost={cost:.6f}s"
+            )
+        if args.trace_out:
+            print(f"  wrote {args.trace_out}")
+    return 0 if healthy else 1
 
 
 def _cmd_perf_sweep(args: argparse.Namespace) -> int:
@@ -455,6 +583,8 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
 
         obs = Observability(seed=args.seed)
         obs.enable_slos()
+        if args.profile:
+            obs.enable_profiler()
         if args.scenario == "steady":
             run_steady_scenario(obs=obs)
         else:
@@ -464,13 +594,17 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
 
         obs = Observability(seed=args.seed)
         obs.enable_slos()
+        if args.profile:
+            obs.enable_profiler()
         run_server_steady_scenario(obs=obs)
     else:
         from repro.server.scenarios import run_server_hot_scenario
 
         obs = Observability.for_scale(seed=args.seed)
+        if args.profile:
+            obs.enable_profiler()
         run_server_hot_scenario(seed=args.seed, obs=obs)
-    document = obs.tracer.to_chrome_trace()
+    document = obs.to_chrome_trace()
     payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -687,7 +821,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--head-failure-at-op", type=int, default=None,
         help="inject a head failure at this disk-op index (with --faults)",
     )
+    obs_report.add_argument(
+        "--cluster", action="store_true",
+        help="report the federated cluster smoke scenario (per-node "
+             "metrics and profile) instead of the single-drive runs",
+    )
+    obs_report.add_argument(
+        "--top", type=int, default=5,
+        help="profiler cost centers to list in the report (default: 5)",
+    )
     obs_report.set_defaults(handler=_cmd_obs_report)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run a scenario under the cost-attribution profiler",
+    )
+    profile.add_argument(
+        "--preset", default="scale",
+        choices=["steady", "server-hot", "cluster", "scale"],
+        help="which canonical scenario to profile (default: scale)",
+    )
+    profile.add_argument(
+        "--streams", type=int, default=1000,
+        help="concurrent streams for the scale preset (default: 1000)",
+    )
+    profile.add_argument(
+        "--blocks", type=int, default=1000,
+        help="blocks per stream for the scale preset (default: 1000)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=5,
+        help="cost centers to list (default: 5)",
+    )
+    profile.add_argument(
+        "--smoke", action="store_true",
+        help="run a tiny fixed scale point and verify attribution health",
+    )
+    profile.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also write a Perfetto-loadable trace with profile.<phase> "
+             "counter tracks to FILE",
+    )
+    _add_common_options(
+        profile, seed_help="scenario seed (attribution derives from it)",
+        json_help="print the profile section as stable JSON",
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     perf_sweep = commands.add_parser(
         "perf-sweep",
@@ -847,6 +1026,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_export.add_argument(
         "--out", default=None, metavar="FILE",
         help="write the trace-event JSON to FILE",
+    )
+    trace_export.add_argument(
+        "--profile", action="store_true",
+        help="also attach the cost profiler, so the export carries "
+             "profile.<phase> counter tracks alongside the spans",
     )
     _add_common_options(
         trace_export, seed_help="scenario seed (trace ids derive from it)",

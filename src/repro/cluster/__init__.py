@@ -37,6 +37,7 @@ from repro.cluster.router import CLUSTER_SLOS, MediaCluster
 from repro.cluster.scenarios import (
     ClusterScenarioRun,
     build_cluster,
+    cluster_observability,
     run_cluster_failover_scenario,
     run_cluster_scale_scenario,
     run_cluster_smoke_scenario,
@@ -54,6 +55,7 @@ __all__ = [
     "bounds_for_placement",
     "build_cluster",
     "build_node",
+    "cluster_observability",
     "demand_from_counters",
     "demand_max_flow",
     "full_catalog_bound",

@@ -189,6 +189,8 @@ def build_node(
     """A ClusterNode over a fresh testbed drive and storage manager."""
     profile = TESTBED_1991
     drive = build_drive()
+    # Per-drive profiler rollups should distinguish the shards.
+    drive.profile_label = f"{node_id}.drive"
     msm = MultimediaStorageManager(
         drive,
         profile.video,

@@ -37,13 +37,19 @@ so two runs with the same inputs produce byte-identical
 ``ClusterServeResult.to_dict()`` output — placement map, admission
 order, and handoffs included.
 
-Observability crosses nodes: the router shares one
-:class:`~repro.obs.Observability` with every node, records a
-``cluster.request`` root span per session with ``cluster.route`` /
-``cluster.serve`` / ``cluster.handoff`` children attributed to node
-ids, keeps per-title and per-node counters, and adds the
-``handoff-clean`` objective (:data:`CLUSTER_SLOS`) on top of the stock
-SLO set.
+Observability federates across nodes: each node is built against a
+node-scoped view (``obs.scoped(node_id)``) of one shared
+:class:`~repro.obs.Observability`, and the router's own counters go
+through the ``"cluster"`` scope — shared totals, SLO evaluation, and
+spans are identical to flat sharing, while per-node registries stay
+separable and ``merge_snapshots()`` folds them back into the cluster
+totals.  The router records a ``cluster.request`` root span per
+session with ``cluster.route`` / ``cluster.serve`` /
+``cluster.handoff`` children attributed to node ids, keeps per-title
+and node-labeled counters (``cluster.routed.<node>``,
+``cluster.rejects.<node>``, ``cluster.handoffs_from/to/clean.<node>``),
+and adds the ``handoff-clean`` objective (:data:`CLUSTER_SLOS`) on top
+of the stock SLO set.
 """
 
 from __future__ import annotations
@@ -145,6 +151,7 @@ class MediaCluster:
         placement: PlacementMap,
         fault_plan: Optional[FaultPlan] = None,
         obs=None,
+        scope_counters: bool = True,
     ):
         if not nodes:
             raise ParameterError("a cluster needs at least one node")
@@ -164,6 +171,14 @@ class MediaCluster:
                     )
         self.placement = placement
         self.obs = obs
+        # Router-level counters go through the "cluster" scoped view
+        # when the observer federates, so merge_snapshots() over every
+        # view reproduces the shared totals exactly.
+        self._view = obs
+        if obs is not None and scope_counters:
+            scoped = getattr(obs, "scoped", None)
+            if scoped is not None:
+                self._view = scoped("cluster")
         self._spans = None
         if obs is not None and obs.tracer.enabled:
             self._spans = obs.tracer
@@ -208,8 +223,8 @@ class MediaCluster:
     # -- counters -----------------------------------------------------------------
 
     def _count(self, name: str, amount: int = 1) -> None:
-        if self.obs is not None:
-            self.obs.registry.counter(name).inc(amount)
+        if self._view is not None:
+            self._view.registry.counter(name).inc(amount)
 
     # -- admission ----------------------------------------------------------------
 
@@ -253,6 +268,8 @@ class MediaCluster:
         self._count("server.sessions_rejected")
         self._count(f"server.reject.{reason.value}")
         self._count("cluster.rejects")
+        # Routing-level refusal: no node ever saw the request.
+        self._count("cluster.rejects.router")
         if self._spans is not None:
             span = self._spans.start_span(
                 "cluster.request",
@@ -460,6 +477,7 @@ class MediaCluster:
                 session.reject = reason
                 node.active = max(node.active - 1, 0)
                 self._count("cluster.rejects")
+                self._count(f"cluster.rejects.{node.node_id}")
                 rejects.append(
                     OpenSessionResponse(
                         session_id=session.session_id,
@@ -563,7 +581,9 @@ class MediaCluster:
         for session in affected:
             target = self.route(session.title_id)
             self._count("cluster.handoffs_total")
+            self._count(f"cluster.handoffs_from.{node.node_id}")
             if target is not None:
+                self._count(f"cluster.handoffs_to.{target.node_id}")
                 session.node_id = target.node_id
                 session.handoffs += 1
                 session.handoff_chunks.append(boundary)
@@ -592,6 +612,10 @@ class MediaCluster:
                     f"server.reject.{RejectReason.NO_REPLICA.value}"
                 )
                 self._count("cluster.rejects")
+                self._count(f"cluster.rejects.{node.node_id}")
+                self._count(
+                    f"cluster.handoffs_stranded.{node.node_id}"
+                )
                 rejects.append(
                     OpenSessionResponse(
                         session_id=session.session_id,
@@ -688,6 +712,11 @@ class MediaCluster:
         clean_count = sum(1 for record in handoffs if record.clean)
         if clean_count:
             self._count("cluster.handoffs_clean", clean_count)
+            for record in handoffs:
+                if record.clean and record.to_node is not None:
+                    self._count(
+                        f"cluster.handoffs_clean.{record.to_node}"
+                    )
         if self.obs is not None and self.obs.slo is not None:
             horizon = max(
                 (s.arrival + s.length for s in admitted), default=0.0

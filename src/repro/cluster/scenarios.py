@@ -43,6 +43,7 @@ from repro.cluster.router import CLUSTER_SLOS, MediaCluster
 __all__ = [
     "ClusterScenarioRun",
     "build_cluster",
+    "cluster_observability",
     "run_cluster_scale_scenario",
     "run_cluster_failover_scenario",
     "run_cluster_smoke_scenario",
@@ -90,6 +91,7 @@ def build_cluster(
     fault_plan: Optional[FaultPlan] = None,
     cache_blocks: int = 512,
     batch_window: float = 0.25,
+    scope_nodes: bool = True,
 ) -> Tuple[MediaCluster, Tuple[CatalogTitle, ...]]:
     """A cluster of *nodes* MediaServers sharing a Zipf catalog.
 
@@ -99,6 +101,12 @@ def build_cluster(
     least-loaded-first.  Every node records its assigned replicas from
     the title's own deterministic frame source and, when *warm* is on,
     plays each once so the hot waves are cache-admitted.
+
+    With *scope_nodes* (the default) each node is built against
+    ``obs.scoped(node_id)`` — the federated per-node view — and the
+    router's counters go through the ``"cluster"`` scope.  Shared
+    totals are byte-identical either way (the equivalence test pins
+    this); ``scope_nodes=False`` reproduces the legacy flat sharing.
     """
     catalog = tuple(
         CatalogTitle(
@@ -115,12 +123,17 @@ def build_cluster(
     viewers = list(clients or []) + ["warmer"]
     built = []
     for node_id in node_ids:
+        node_obs = obs
+        if obs is not None and scope_nodes:
+            scoped = getattr(obs, "scoped", None)
+            if scoped is not None:
+                node_obs = scoped(node_id)
         node = build_node(
             node_id,
             capacity=per_node_streams,
             cache_blocks=cache_blocks,
             batch_window=batch_window,
-            obs=obs,
+            obs=node_obs,
         )
         for title in catalog:
             if node_id in placement.replicas(title.title_id):
@@ -131,7 +144,8 @@ def build_cluster(
             for title_id in sorted(node.local_ropes):
                 node.warm(title_id)
     cluster = MediaCluster(
-        built, placement, fault_plan=fault_plan, obs=obs
+        built, placement, fault_plan=fault_plan, obs=obs,
+        scope_counters=scope_nodes,
     )
     return cluster, catalog
 
@@ -165,10 +179,20 @@ def _catalog_requests(
     return requests
 
 
-def _cluster_obs(seed: int) -> Observability:
-    """A for-scale observability with the cluster objective set."""
+def cluster_observability(
+    seed: int, profile: bool = False
+) -> Observability:
+    """A for-scale observability with the cluster objective set.
+
+    With *profile* a :class:`~repro.obs.CostProfiler` is attached, so
+    scenario runs additionally carry per-phase / per-node cost
+    attribution (the ``repro profile cluster`` and ``repro obs-report
+    --cluster`` presets).
+    """
     obs = Observability.for_scale(seed=seed)
     obs.slo = SloMonitor(obs.registry, CLUSTER_SLOS)
+    if profile:
+        obs.enable_profiler()
     return obs
 
 
@@ -183,9 +207,10 @@ def _run(
     seed: int,
     obs: Optional[Observability],
     fault_plan: Optional[FaultPlan],
+    scope_nodes: bool = True,
 ) -> ClusterScenarioRun:
     if obs is None:
-        obs = _cluster_obs(seed)
+        obs = cluster_observability(seed)
     clients = [f"client-{i}" for i in range(sessions)]
     cluster, catalog = build_cluster(
         nodes=nodes,
@@ -196,6 +221,7 @@ def _run(
         clients=clients,
         obs=obs,
         fault_plan=fault_plan,
+        scope_nodes=scope_nodes,
     )
     batch_window = cluster.nodes[0].server.batch_window
     requests = _catalog_requests(catalog, sessions, seed, batch_window)
@@ -230,6 +256,7 @@ def run_cluster_scale_scenario(
     chunks: int = 1,
     seed: int = DEFAULT_SEED,
     obs: Optional[Observability] = None,
+    scope_nodes: bool = True,
 ) -> ClusterScenarioRun:
     """The north-star run: 1000+ concurrent sessions, all continuous.
 
@@ -241,6 +268,7 @@ def run_cluster_scale_scenario(
     return _run(
         nodes, sessions, titles, seconds, per_node_streams,
         min_replicas, chunks, seed, obs, fault_plan=None,
+        scope_nodes=scope_nodes,
     )
 
 
@@ -256,6 +284,7 @@ def run_cluster_failover_scenario(
     kill_chunk: int = 2,
     seed: int = DEFAULT_SEED,
     obs: Optional[Observability] = None,
+    scope_nodes: bool = True,
 ) -> ClusterScenarioRun:
     """Kill one node mid-stream; its sessions hand off and finish.
 
@@ -277,12 +306,14 @@ def run_cluster_failover_scenario(
     return _run(
         nodes, sessions, titles, seconds, per_node_streams,
         min_replicas, chunks, seed, obs, fault_plan=plan,
+        scope_nodes=scope_nodes,
     )
 
 
 def run_cluster_smoke_scenario(
     seed: int = DEFAULT_SEED,
     obs: Optional[Observability] = None,
+    scope_nodes: bool = True,
 ) -> ClusterScenarioRun:
     """The tiny CI gate: 3 nodes, 12 sessions, one node killed.
 
@@ -302,4 +333,5 @@ def run_cluster_smoke_scenario(
         kill_chunk=1,
         seed=seed,
         obs=obs,
+        scope_nodes=scope_nodes,
     )

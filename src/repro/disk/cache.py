@@ -214,6 +214,7 @@ class CachedDrive:
         self._obs_hits = None
         self._obs_misses = None
         self._obs_evictions = None
+        self._obs_profiler = None
         self.attach_cache_observer(obs)
 
     def attach_cache_observer(self, obs) -> None:
@@ -222,11 +223,13 @@ class CachedDrive:
             self._obs_hits = None
             self._obs_misses = None
             self._obs_evictions = None
+            self._obs_profiler = None
             return
         registry = obs.registry
         self._obs_hits = registry.counter("cache.hits")
         self._obs_misses = registry.counter("cache.misses")
         self._obs_evictions = registry.counter("cache.evictions")
+        self._obs_profiler = getattr(obs, "profiler", None)
 
     # -- drive surface proxied to the inner mechanism -------------------------
 
@@ -271,12 +274,22 @@ class CachedDrive:
 
     def read_slot(self, slot: int, bits: Optional[float] = None) -> float:
         """Read through the cache; returns elapsed simulated seconds."""
+        profiler = self._obs_profiler
         if self.cache.lookup(slot):
             if self._obs_hits is not None:
                 self._obs_hits.inc()
+            if profiler is not None:
+                profiler.record(
+                    "cache_lookup", cost=self.hit_time,
+                    drive=self.inner.profile_label,
+                )
             return self.hit_time
         if self._obs_misses is not None:
             self._obs_misses.inc()
+        if profiler is not None:
+            profiler.record(
+                "cache_lookup", drive=self.inner.profile_label
+            )
         try:
             duration = self.inner.read_slot(slot, bits)
         except MediaDefectError:
@@ -306,13 +319,23 @@ class CachedDrive:
         span = tracer.start_span(
             "cache.read", now, parent=parent, attrs={"slot": slot}
         )
+        profiler = self._obs_profiler
         if self.cache.lookup(slot):
             if self._obs_hits is not None:
                 self._obs_hits.inc()
+            if profiler is not None:
+                profiler.record(
+                    "cache_lookup", cost=self.hit_time,
+                    drive=self.inner.profile_label,
+                )
             tracer.end_span(span, now + self.hit_time, status="hit")
             return self.hit_time
         if self._obs_misses is not None:
             self._obs_misses.inc()
+        if profiler is not None:
+            profiler.record(
+                "cache_lookup", drive=self.inner.profile_label
+            )
         try:
             duration = self.inner.traced_read(
                 slot, bits, now, tracer,

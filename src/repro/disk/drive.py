@@ -119,6 +119,10 @@ class SimulatedDrive:
         self.obs = None
         self._obs_seek_hist = None
         self._obs_access_counter = None
+        self._obs_profiler = None
+        #: Label this drive's profiler attributions carry (``per_drive``
+        #: in the cost summary); settable by whoever owns the drive.
+        self.profile_label = "drive"
         # Geometry, seek curve, rotation, and rates are fixed for the
         # drive's lifetime (all frozen dataclasses), so the per-access
         # constants are resolved once instead of through property chains
@@ -149,6 +153,7 @@ class SimulatedDrive:
         if obs is None:
             self._obs_seek_hist = None
             self._obs_access_counter = None
+            self._obs_profiler = None
             return
         from repro.obs.registry import SEEK_TIME_BUCKETS
 
@@ -156,6 +161,7 @@ class SimulatedDrive:
             "disk.seek_s", SEEK_TIME_BUCKETS
         )
         self._obs_access_counter = obs.registry.counter("disk.accesses")
+        self._obs_profiler = getattr(obs, "profiler", None)
 
     # -- derived sizes -------------------------------------------------------
 
@@ -280,6 +286,14 @@ class SimulatedDrive:
         if self.obs is not None:
             self._obs_access_counter.inc()
             self._obs_seek_hist.observe(seek)
+            profiler = self._obs_profiler
+            if profiler is not None:
+                # Positioning (seek + rotation) vs media transfer are the
+                # paper's two cost components; attribute both to this
+                # drive's label.
+                label = self.profile_label
+                profiler.record("seek", cost=seek + latency, drive=label)
+                profiler.record("transfer", cost=transfer, drive=label)
         if self.injector is not None:
             # The failed attempt's time is already charged above: a fault
             # is only known once the access has been tried.

@@ -115,6 +115,7 @@ def read_with_recovery(
     """
     trace = tracer if tracer is not None else _NULL_TRACER
     counters = obs.registry if obs is not None else None
+    profiler = getattr(obs, "profiler", None) if obs is not None else None
     traced = span_tracer is not None and hasattr(drive, "traced_read")
 
     def _span_event(name, start, end, attrs):
@@ -149,6 +150,10 @@ def read_with_recovery(
                 )
                 if counters is not None:
                     counters.counter("fault.skips").inc()
+                if profiler is not None:
+                    profiler.record(
+                        "fault_recovery", cost=fault.elapsed
+                    )
                 _span_event(
                     "fault.skip", now + elapsed, now + elapsed,
                     {"slot": slot, "reason": "budget"},
@@ -167,6 +172,10 @@ def read_with_recovery(
                 if counters is not None:
                     counters.counter("fault.skips").inc()
                     counters.counter("fault.deadline_abandons").inc()
+                if profiler is not None:
+                    profiler.record(
+                        "fault_recovery", cost=fault.elapsed
+                    )
                 _span_event(
                     "fault.skip", now + elapsed, now + elapsed,
                     {"slot": slot, "reason": "deadline"},
@@ -183,6 +192,14 @@ def read_with_recovery(
             )
             if counters is not None:
                 counters.counter("fault.retries").inc()
+            if profiler is not None:
+                # The doomed attempt's time plus the settle window — the
+                # delay this fault alone added (it overlaps the
+                # seek/transfer the failed attempt already charged).
+                profiler.record(
+                    "fault_recovery",
+                    cost=fault.elapsed + policy.retry_backoff,
+                )
             _span_event(
                 "fault.retry", fault_time, now + elapsed,
                 {"slot": slot, "attempt": attempts},
@@ -201,6 +218,8 @@ def read_with_recovery(
             if counters is not None:
                 counters.counter("fault.injected").inc()
                 counters.counter("fault.skips").inc()
+            if profiler is not None:
+                profiler.record("fault_recovery", cost=fault.elapsed)
             _span_event(
                 "fault.skip", now + elapsed, now + elapsed,
                 {"slot": slot, "reason": "defect"},
@@ -215,6 +234,10 @@ def read_with_recovery(
             if counters is not None:
                 counters.counter("fault.injected").inc()
                 counters.counter("fault.head_failures").inc()
+            if profiler is not None:
+                # No modeled cost: a dead head fails fast; the caller's
+                # degrade path owns whatever follows.
+                profiler.record("fault_recovery", cost=0.0)
             raise
         if attempts:
             drive.stats.degraded_reads += 1

@@ -17,7 +17,13 @@ reproduction proves it kept them.  Components report into an optional
   JSON (``repro trace-export``);
 * :class:`SloMonitor` — declarative objectives (continuity, deadline
   slack quantiles, typed reject rates, cache hit ratio) evaluated per
-  round with breach-transition events in the snapshot.
+  round with breach-transition events in the snapshot;
+* :class:`CostProfiler` — deterministic cost attribution decomposing
+  each service round into named phases (:data:`PHASES`) with per-phase
+  op counts and modeled-time costs, per stream / drive / cluster node,
+  exported as Perfetto counter tracks (``repro profile``); node-scoped
+  :class:`ScopedObservability` views plus :func:`merge_snapshots`
+  federate per-node registries back into one cluster snapshot.
 
 Canonical end-to-end scenarios (the golden-trace baselines) live in
 :mod:`repro.obs.scenarios`, imported lazily to avoid cycles with the
@@ -26,6 +32,13 @@ service layers.
 
 from repro.obs.audit import AdmissionAuditLog, AuditEntry
 from repro.obs.observer import NULL_OBS, Observability
+from repro.obs.profiling import (
+    PHASES,
+    CostProfiler,
+    ScopedObservability,
+    ScopedRegistry,
+    merge_snapshots,
+)
 from repro.obs.registry import (
     DEADLINE_SLACK_BUCKETS,
     QUEUE_DEPTH_BUCKETS,
@@ -45,6 +58,7 @@ __all__ = [
     "AdmissionAuditLog",
     "AuditEntry",
     "BlockStage",
+    "CostProfiler",
     "Counter",
     "DEADLINE_SLACK_BUCKETS",
     "DEFAULT_SLOS",
@@ -53,14 +67,18 @@ __all__ = [
     "MetricsRegistry",
     "NULL_OBS",
     "Observability",
+    "PHASES",
     "ProfileTimer",
     "QUEUE_DEPTH_BUCKETS",
     "ROUND_UTILIZATION_BUCKETS",
     "SEEK_TIME_BUCKETS",
+    "ScopedObservability",
+    "ScopedRegistry",
     "SessionTimeline",
     "Slo",
     "SloMonitor",
     "Span",
     "SpanTracer",
     "TimelineEvent",
+    "merge_snapshots",
 ]

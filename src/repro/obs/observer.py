@@ -22,6 +22,11 @@ import json
 from typing import Dict, Optional, Union
 
 from repro.obs.audit import AdmissionAuditLog
+from repro.obs.profiling import (
+    CostProfiler,
+    ScopedObservability,
+    merge_snapshots,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import SloMonitor
 from repro.obs.timeline import SessionTimeline
@@ -72,7 +77,9 @@ class Observability:
             else SpanTracer(enabled=enabled, seed=seed)
         )
         self.slo: Optional[SloMonitor] = None
+        self.profiler: Optional[CostProfiler] = None
         self._sim_tracers: list = []
+        self._node_views: Dict[str, ScopedObservability] = {}
 
     @classmethod
     def for_scale(cls, seed: int = 0) -> "Observability":
@@ -96,6 +103,21 @@ class Observability:
         obs.enable_slos()
         return obs
 
+    @classmethod
+    def for_profiling(cls, seed: int = 0) -> "Observability":
+        """The hot-path profiling configuration: metrics + profiler on,
+        timeline/audit/tracer off.
+
+        Cost attribution wants to see every access while perturbing the
+        run as little as possible; everything recorded is modeled time,
+        so snapshots stay byte-stable per seed.
+        """
+        obs = cls(seed=seed, tracer=SpanTracer(enabled=False, seed=seed))
+        obs.timeline = SessionTimeline(False)
+        obs.audit = AdmissionAuditLog(False)
+        obs.enable_profiler()
+        return obs
+
     def enable_slos(self, slos=None) -> SloMonitor:
         """Attach an :class:`SloMonitor` (idempotent; default objectives
         when *slos* is None)."""
@@ -105,6 +127,58 @@ class Observability:
                 self.registry, DEFAULT_SLOS if slos is None else slos
             )
         return self.slo
+
+    def enable_profiler(
+        self, profiler: Optional[CostProfiler] = None
+    ) -> CostProfiler:
+        """Attach a :class:`CostProfiler` (idempotent).
+
+        Off by default: the round loop and drive guard with a single
+        ``is None`` test, so an unprofiled run pays nothing and the
+        traced-overhead budget is untouched.
+        """
+        if self.profiler is None:
+            self.profiler = (
+                profiler if profiler is not None
+                else CostProfiler(enabled=self.enabled)
+            )
+        return self.profiler
+
+    # -- node-scoped federation --------------------------------------------------
+
+    def scoped(self, node_id: str) -> ScopedObservability:
+        """The node-scoped view for *node_id* (one per id, memoized).
+
+        Hand one to each cluster node instead of sharing this object
+        flat: writes still land here (totals, SLOs, and goldens are
+        unchanged by construction) while each view keeps a private
+        per-node registry and node-attributed profiler handle.
+        """
+        view = self._node_views.get(node_id)
+        if view is None:
+            view = self._node_views[node_id] = ScopedObservability(
+                self, node_id
+            )
+        return view
+
+    def node_ids(self) -> list:
+        """Sorted ids of every scoped view handed out so far."""
+        return sorted(self._node_views)
+
+    def node_snapshot_dicts(self) -> Dict[str, Dict]:
+        """Each scoped view's snapshot, keyed by node id."""
+        return {
+            node_id: self._node_views[node_id].snapshot_dict()
+            for node_id in self.node_ids()
+        }
+
+    def merged_node_snapshot_dict(self) -> Dict:
+        """All scoped views folded back into one cluster-level dict
+        (see :func:`repro.obs.profiling.merge_snapshots`)."""
+        return merge_snapshots(
+            self._node_views[node_id].snapshot_dict()
+            for node_id in self.node_ids()
+        )
 
     def attach_sim_tracer(self, tracer) -> None:
         """Register a :class:`repro.sim.trace.Tracer` for health
@@ -120,8 +194,12 @@ class Observability:
     # -- serialization -----------------------------------------------------------
 
     def snapshot_dict(self, include_profile: bool = False) -> Dict:
-        """The full observability state as a JSON-ready dict."""
-        return {
+        """The full observability state as a JSON-ready dict.
+
+        The ``profile`` section appears only when a profiler is
+        attached, so every pre-profiler golden stays byte-stable.
+        """
+        out = {
             "metrics": self.registry.snapshot_dict(
                 include_profile=include_profile
             ),
@@ -140,6 +218,23 @@ class Observability:
                 "spans_strict": self.tracer.strict,
             },
         }
+        if self.profiler is not None:
+            out["profile"] = self.profiler.summary_dict()
+        return out
+
+    def to_chrome_trace(self) -> Dict:
+        """Perfetto-loadable document: spans + profile counter tracks.
+
+        The span export is exactly :meth:`SpanTracer.to_chrome_trace`;
+        when a profiler is attached its per-phase cost checkpoints ride
+        along as ``"C"`` counter events on ``profile.<phase>`` tracks.
+        """
+        doc = self.tracer.to_chrome_trace()
+        if self.profiler is not None:
+            events = list(doc["traceEvents"])
+            events.extend(self.profiler.chrome_counter_events())
+            doc["traceEvents"] = events
+        return doc
 
     def snapshot(self, include_profile: bool = False) -> str:
         """Stable sorted-key JSON of registry + timeline + audit.
@@ -161,8 +256,12 @@ class Observability:
 
     # -- human rendering ---------------------------------------------------------
 
-    def report(self) -> str:
-        """Operator-facing rendering of the full observability state."""
+    def report(self, top: int = 5) -> str:
+        """Operator-facing rendering of the full observability state.
+
+        *top* bounds the profiler cost-center ranking (when a profiler
+        is attached); it matches the CLI ``--top`` flag.
+        """
         metrics = self.registry.snapshot_dict(include_profile=True)
         lines = ["== counters =="]
         for name, value in sorted(metrics["counters"].items()):
@@ -216,6 +315,24 @@ class Observability:
                 lines.append(
                     f"  {name:<24} {entry['metric']} {entry['op']} "
                     f"{entry['threshold']:g} -> {state}"
+                )
+        if self.profiler is not None:
+            lines.append("== profile ==")
+            for entry in self.profiler.top_cost_centers(top):
+                lines.append(
+                    f"  {entry['phase']:<20} ops={entry['ops']:<10} "
+                    f"cost={entry['cost_s']:.6f}s "
+                    f"share={entry['share']:.4f}"
+                )
+            for node_id in sorted(self._node_views):
+                summary = self.profiler.node_summary(node_id)
+                if not summary:
+                    continue
+                cost = sum(s["cost_s"] for s in summary.values())
+                ops = sum(s["ops"] for s in summary.values())
+                lines.append(
+                    f"  node {node_id:<14} ops={ops:<10} "
+                    f"cost={cost:.6f}s"
                 )
         lines.append("== admission audit ==")
         audit = self.audit.render()

@@ -30,11 +30,13 @@ from repro.service.rounds import Admission, RoundRobinService, StreamState
 __all__ = [
     "DRIVE_CONFIGS",
     "ObsOverheadResult",
+    "ProfiledScaleRun",
     "ScaleScenario",
     "ScaleResult",
     "build_drive_config",
     "build_streams",
     "run_obs_overhead_scenario",
+    "run_profiled_scale_scenario",
     "run_scale_scenario",
 ]
 
@@ -318,6 +320,100 @@ def run_obs_overhead_scenario(
         spans=len(obs.tracer),
         spans_dropped=obs.tracer.dropped_count,
         budget_ratio=budget_ratio,
+    )
+
+
+@dataclass
+class ProfiledScaleRun:
+    """A scale scenario run under the cost-attribution profiler.
+
+    ``section`` is the deterministic artifact: scenario parameters plus
+    the profiler's :meth:`~repro.obs.CostProfiler.summary_dict` — all
+    modeled time and op counts, never wall clock, so its sorted JSON is
+    byte-identical across runs at the same seed.  ``wall_time_s`` is
+    carried separately for throughput reporting and deliberately kept
+    out of ``section``.
+    """
+
+    scenario: ScaleScenario
+    obs: object  #: the :class:`~repro.obs.Observability` used for the run
+    wall_time_s: float
+    rounds: int
+    blocks_delivered: int
+    misses: int
+
+    @property
+    def section(self) -> Dict[str, object]:
+        """The BENCH_PERF.json ``profile`` section for this run."""
+        summary = self.obs.profiler.summary_dict()
+        return {
+            "params": {
+                "streams": self.scenario.streams,
+                "blocks_per_stream": self.scenario.blocks_per_stream,
+                "k": self.scenario.k,
+                "buffer_capacity": self.scenario.buffer_capacity,
+                "seed": self.scenario.seed,
+                "drive": self.scenario.drive,
+                "arrivals": self.scenario.arrivals,
+            },
+            "rounds": self.rounds,
+            "blocks_delivered": self.blocks_delivered,
+            "misses": self.misses,
+            **summary,
+        }
+
+
+def run_profiled_scale_scenario(
+    streams: int = 1000,
+    blocks_per_stream: int = 1000,
+    k: int = 4,
+    buffer_capacity: int = 8,
+    seed: int = 0,
+    drive: str = "testbed",
+    arrivals: str = "uniform",
+    name: str = "profiled-scale",
+) -> ProfiledScaleRun:
+    """Run one scale point with per-phase cost attribution on.
+
+    Uses :meth:`Observability.for_profiling` — metrics + profiler, span
+    tracer and timeline off — so the attribution sees every access while
+    perturbing the loop as little as possible.  The drive's
+    ``profile_label`` is set to the drive-config name, so per-drive
+    rollups read ``testbed``/``fast``/``table`` instead of the generic
+    default.
+    """
+    from repro.obs.observer import Observability
+
+    scenario = ScaleScenario(
+        name=name,
+        streams=streams,
+        blocks_per_stream=blocks_per_stream,
+        k=k,
+        buffer_capacity=buffer_capacity,
+        seed=seed,
+        drive=drive,
+        arrivals=arrivals,
+    )
+    mechanism = build_drive_config(scenario.drive)
+    mechanism.profile_label = scenario.drive
+    obs = Observability.for_profiling(seed=seed)
+    mechanism.attach_observer(obs)
+    initial, admissions = build_streams(scenario, mechanism)
+    service = RoundRobinService(
+        mechanism, lambda _round, _n: scenario.k, obs=obs
+    )
+    start = _time.perf_counter()
+    metrics = service.run(initial, admissions, max_rounds=10_000_000)
+    wall = _time.perf_counter() - start
+    return ProfiledScaleRun(
+        scenario=scenario,
+        obs=obs,
+        wall_time_s=wall,
+        rounds=service.rounds_run,
+        blocks_delivered=sum(
+            m.blocks_delivered for m in metrics.values()
+        ),
+        misses=sum(m.misses for m in metrics.values()),
     )
 
 

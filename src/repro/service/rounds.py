@@ -236,6 +236,7 @@ class RoundRobinService:
         self._sp_keep: Optional[int] = None
         self._sp_every: Optional[int] = None
         self._slo = None
+        self._prof = None
         self._stream_spans: Dict[str, object] = {}
         self._drive_traced = hasattr(drive, "traced_read")
         if obs is not None:
@@ -265,6 +266,7 @@ class RoundRobinService:
                 self._sp_keep = span_tracer.block_keep_first
                 self._sp_every = span_tracer.block_every_kth
             self._slo = getattr(obs, "slo", None)
+            self._prof = getattr(obs, "profiler", None)
             if tracer is not None and hasattr(obs, "attach_sim_tracer"):
                 obs.attach_sim_tracer(self.tracer)
         # Sampling prefilter for the per-block hot path: ``(keep_max,
@@ -314,13 +316,16 @@ class RoundRobinService:
         pending = sorted(admissions, key=lambda a: a.round_number)
         next_pending = 0
         round_number = 0
+        prof = self._prof
         while True:
+            admitted_now = 0
             while (
                 next_pending < len(pending)
                 and pending[next_pending].round_number <= round_number
             ):
                 admitted = pending[next_pending]
                 next_pending += 1
+                admitted_now += 1
                 active.append(admitted.stream)
                 self.tracer.emit(
                     time, "admit", admitted.stream.request_id,
@@ -329,6 +334,7 @@ class RoundRobinService:
                 if self._sp is not None:
                     self._open_stream_span(admitted.stream, time)
             # Compact finished streams out in place, preserving order.
+            scanned = len(active)
             write = 0
             for stream in active:
                 if not stream.finished:
@@ -336,6 +342,8 @@ class RoundRobinService:
                     write += 1
             if write != len(active):
                 del active[write:]
+            if prof is not None and (scanned or admitted_now):
+                prof.record("admission_scan", ops=scanned + admitted_now)
             more_pending = next_pending < len(pending)
             if not active and not more_pending and not self._extra_work_pending():
                 break
@@ -359,6 +367,8 @@ class RoundRobinService:
                 )
             if not progressed:
                 # Every buffer was full: idle until consumption frees one.
+                if prof is not None:
+                    prof.record("deadline_ordering", ops=len(active))
                 wake = min(
                     stream.next_consumption_time(time) for stream in active
                 )
@@ -370,6 +380,8 @@ class RoundRobinService:
                 time = wake
             round_number += 1
             self.rounds_run += 1
+            if prof is not None:
+                prof.checkpoint(time)
             if self._slo is not None:
                 self._slo.on_round(time, round_number)
             if round_number > max_rounds:
@@ -419,10 +431,13 @@ class RoundRobinService:
         keep = self._tl_keep
         every = self._tl_every
         tracer = self._sp
+        prof = self._prof
         slack_observe = self._obs_slack.observe
         for stream in streams:
             span = self._stream_spans.pop(stream.request_id, None)
             if stream.clock_start is None:
+                if prof is not None:
+                    prof.record("span_finalize", ops=1)
                 if tracer is not None and span is not None:
                     tracer.end_span(span, span.start, status="unstarted")
                 continue
@@ -525,6 +540,10 @@ class RoundRobinService:
                     if ready > elapsed:
                         elapsed = ready
                     elapsed += duration
+            if prof is not None:
+                prof.record(
+                    "span_finalize", ops=len(deliveries) if deliveries else 1
+                )
             self._obs_delivered.inc(
                 len(deliveries) - len(skipped_indices)
             )
@@ -554,6 +573,10 @@ class RoundRobinService:
         sp = self._sp
         sp_keep = self._sp_keep
         sp_every = self._sp_every
+        prof = self._prof
+        # Consumption-cursor / deadline bookkeeping queries this round
+        # (the buffer-room probe per stream + one per delivery).
+        dq_ops = 0
         pre = self._sample_pre
         if pre is not None:
             pre_keep, pre_mod = pre
@@ -563,6 +586,7 @@ class RoundRobinService:
             stream_k = stream.k_override if stream.k_override else k
             # Buffer regulation: never exceed display-subsystem capacity.
             room = stream.buffer_capacity - stream.buffered_at(time)
+            dq_ops += 1
             quota = min(stream_k, max(0, room))
             if quota == 0:
                 self.tracer.emit(
@@ -570,6 +594,7 @@ class RoundRobinService:
                     f"round {round_number}",
                 )
                 continue
+            stream_start = time
             delivered = 0
             while delivered < quota and not stream.finished:
                 index = stream.next_fetch
@@ -644,6 +669,14 @@ class RoundRobinService:
                         )
                 if skipped and obs is not None:
                     self._obs_skipped.inc()
+            if delivered:
+                dq_ops += delivered
+                if prof is not None:
+                    prof.attribute_stream(
+                        stream.request_id,
+                        cost=time - stream_start,
+                        ops=delivered,
+                    )
             if obs is not None and delivered:
                 floor = stream._duration_floor
                 if floor is None:
@@ -678,6 +711,8 @@ class RoundRobinService:
                     time, "playback-start", stream.request_id,
                     f"after {len(stream.deliveries)} blocks",
                 )
+        if prof is not None and dq_ops:
+            prof.record("deadline_ordering", ops=dq_ops)
         if (
             self.obs is not None
             and progressed

@@ -1,0 +1,211 @@
+"""Per-node observability federation tests.
+
+The federation's acceptance bar is *equivalence*: handing each node a
+:class:`~repro.obs.ScopedObservability` view instead of the flat shared
+handle must change nothing observable at the cluster level — the parent
+snapshot is byte-identical, and :func:`~repro.obs.merge_snapshots` over
+every scoped view (nodes plus the router's ``"cluster"`` scope)
+reproduces the flat run's shared counters exactly.  Histogram bucket
+counts merge exactly too; only the float ``sum`` fields are compared
+with a tolerance, because per-node partial sums re-add in a different
+association order than flat interleaved accumulation.
+
+On top of equivalence, the federation must *add* information: per-node
+labeled ``cluster.*`` counters, per-node metric breakdowns, node-level
+profiler attribution, and causally connected cross-node handoff
+traces.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.cluster import (
+    cluster_observability,
+    run_cluster_smoke_scenario,
+)
+
+pytestmark = [pytest.mark.cluster, pytest.mark.profile]
+
+SEED = 20260806
+
+
+@pytest.fixture(scope="module")
+def scoped_run():
+    obs = cluster_observability(SEED, profile=True)
+    return run_cluster_smoke_scenario(seed=SEED, obs=obs)
+
+
+@pytest.fixture(scope="module")
+def flat_run():
+    obs = cluster_observability(SEED, profile=True)
+    return run_cluster_smoke_scenario(
+        seed=SEED, obs=obs, scope_nodes=False
+    )
+
+
+class TestFlatEquivalence:
+    def test_parent_snapshots_are_byte_identical(
+        self, scoped_run, flat_run
+    ):
+        # The profile section's per-node/per-drive maps are exactly the
+        # information federation adds, so they differ by design; every
+        # shared surface (metrics, timeline, audit, spans, SLOs) must
+        # serialize byte-identically.
+        scoped = scoped_run.obs.snapshot_dict()
+        flat = flat_run.obs.snapshot_dict()
+        scoped_profile = scoped.pop("profile")
+        flat_profile = flat.pop("profile")
+        assert json.dumps(scoped, sort_keys=True) == (
+            json.dumps(flat, sort_keys=True)
+        )
+        # Cluster-wide phase totals still agree exactly.
+        assert scoped_profile["phases"] == flat_profile["phases"]
+        assert scoped_profile["top"] == flat_profile["top"]
+
+    def test_serve_results_are_identical(self, scoped_run, flat_run):
+        assert scoped_run.result == flat_run.result
+
+    def test_merged_views_reproduce_flat_shared_counters(
+        self, scoped_run, flat_run
+    ):
+        merged = scoped_run.obs.merged_node_snapshot_dict()
+        flat = flat_run.obs.registry.snapshot_dict()
+        assert merged["metrics"]["counters"] == flat["counters"]
+        assert merged["metrics"]["timers"].keys() == (
+            flat["timers"].keys()
+        )
+        for name, entry in merged["metrics"]["timers"].items():
+            assert entry["calls"] == flat["timers"][name]["calls"]
+
+    def test_merged_histograms_match_bucketwise(
+        self, scoped_run, flat_run
+    ):
+        merged = scoped_run.obs.merged_node_snapshot_dict()
+        flat = flat_run.obs.registry.snapshot_dict()
+        histograms = merged["metrics"]["histograms"]
+        assert histograms.keys() == flat["histograms"].keys()
+        for name, data in histograms.items():
+            expected = flat["histograms"][name]
+            assert data["buckets"] == list(expected["buckets"]), name
+            assert data["counts"] == list(expected["counts"]), name
+            assert data["count"] == expected["count"], name
+            assert data["overflow"] == expected["overflow"], name
+            # Float sums re-associate across per-node partials; only
+            # the last ulp may move (see merge_snapshots docs).
+            assert math.isclose(
+                data["sum"], expected["sum"], rel_tol=1e-9, abs_tol=1e-12
+            ), name
+
+    def test_merged_profile_matches_parent_phase_totals(
+        self, scoped_run
+    ):
+        merged = scoped_run.obs.merged_node_snapshot_dict()
+        parent = scoped_run.obs.profiler.summary_dict()["phases"]
+        for phase, stat in merged["profile"].items():
+            # Node-attributed work is a subset of the cluster total
+            # (single-node phases like checkpointing carry no node id).
+            assert stat["ops"] <= parent[phase]["ops"], phase
+            assert stat["cost_s"] <= parent[phase]["cost_s"] + 1e-12
+
+
+class TestFederatedBreakdowns:
+    def test_every_node_and_the_router_scope_have_views(
+        self, scoped_run
+    ):
+        assert scoped_run.obs.node_ids() == [
+            "cluster", "node-00", "node-01", "node-02",
+        ]
+
+    def test_labeled_cluster_counters_name_nodes(self, scoped_run):
+        counters = scoped_run.obs.registry.snapshot_dict()["counters"]
+        result = scoped_run.result
+        killed = "node-01"
+        assert counters[f"cluster.node_deaths.{killed}"] == 1
+        assert counters[f"cluster.handoffs_from.{killed}"] == (
+            len(result.handoffs)
+        )
+        moved_to = {
+            record.to_node for record in result.handoffs
+            if record.to_node is not None
+        }
+        for node_id in moved_to:
+            assert counters[f"cluster.handoffs_to.{node_id}"] >= 1
+        clean_total = sum(
+            counters.get(f"cluster.handoffs_clean.{node_id}", 0)
+            for node_id in moved_to
+        )
+        assert clean_total == result.handoffs_clean
+
+    def test_node_views_carry_disjoint_local_metrics(self, scoped_run):
+        snaps = scoped_run.obs.node_snapshot_dicts()
+        # The router's own counters live only in the "cluster" scope.
+        cluster_counters = snaps["cluster"]["metrics"]["counters"]
+        assert all(
+            name.startswith("cluster.") or name.startswith("server.")
+            for name in cluster_counters
+        )
+        # Per-node disk work stays attributed to that node's view.
+        for node_id in ("node-00", "node-02"):
+            local = snaps[node_id]["metrics"]["counters"]
+            assert local["disk.accesses"] > 0
+        # The dead node served chunk 0 before the kill, so it has
+        # profile attribution too.
+        assert snaps["node-01"]["profile"]
+
+    def test_profiler_attributes_per_node_drives(self, scoped_run):
+        summary = scoped_run.obs.profiler.summary_dict()
+        assert {"node-00", "node-01", "node-02"} <= (
+            summary["per_node"].keys()
+        )
+        assert any(
+            label.endswith(".drive") for label in summary["per_drive"]
+        )
+
+
+class TestHandoffTraceConnectivity:
+    def test_handoff_traces_stay_connected_across_nodes(
+        self, scoped_run
+    ):
+        tracer = scoped_run.obs.tracer
+        handoffs = [
+            record for record in scoped_run.result.handoffs
+            if record.to_node is not None
+        ]
+        assert handoffs, "smoke scenario must hand off sessions"
+        for record in handoffs:
+            roots = tracer.spans(
+                name="cluster.request", session=record.session_id
+            )
+            assert len(roots) == 1, record.session_id
+            trace_id = roots[0].trace_id
+            assert tracer.trace_is_connected(trace_id), (
+                f"handoff trace for {record.session_id} is not one tree"
+            )
+            handoff_spans = tracer.spans(
+                name="cluster.handoff", trace_id=trace_id
+            )
+            assert len(handoff_spans) == 1
+            attrs = handoff_spans[0].attrs
+            assert attrs["from"] == record.from_node
+            assert attrs["to"] == record.to_node
+            serve_nodes = {
+                span.attrs["node"]
+                for span in tracer.spans(
+                    name="cluster.serve", trace_id=trace_id
+                )
+            }
+            # The causal story crosses the kill: chunks served on the
+            # dead node and on the failover target share one trace.
+            assert record.from_node in serve_nodes
+            assert record.to_node in serve_nodes
+
+    def test_stranded_and_rejected_traces_are_still_closed(
+        self, scoped_run
+    ):
+        tracer = scoped_run.obs.tracer
+        for span in tracer.spans(name="cluster.request"):
+            assert span.end is not None, (
+                f"unclosed root span for {span.session}"
+            )

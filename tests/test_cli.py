@@ -163,7 +163,7 @@ class TestParser:
     def test_scenario_commands_share_seed_and_json_options(self):
         for name in (
             "demo", "obs-report", "perf-sweep", "serve", "trace-export",
-            "cluster",
+            "cluster", "profile",
         ):
             options = self._subcommand_options(name)
             assert "--seed" in options, name
@@ -192,6 +192,19 @@ class TestParser:
             }
             assert "--json" in options, name
             assert "--seed" not in options, name
+
+    def test_profile_flags_present(self):
+        options = self._subcommand_options("profile")
+        for flag in (
+            "--preset", "--streams", "--blocks", "--top", "--smoke",
+            "--trace-out",
+        ):
+            assert flag in options, flag
+
+    def test_obs_report_gained_cluster_and_top(self):
+        options = self._subcommand_options("obs-report")
+        assert "--cluster" in options
+        assert "--top" in options
 
     def test_cluster_failover_flags_present(self):
         options = self._subcommand_options("cluster")
@@ -237,6 +250,55 @@ class TestTraceExport:
     def test_summary_mentions_viewer_without_out(self, capsys):
         assert main(["trace-export", "--scenario", "steady"]) == 0
         assert "perfetto" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_smoke_exits_zero_with_one_line(self, capsys):
+        assert main(["profile", "--smoke"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out.splitlines()) == 1
+        assert "hottest" in out
+
+    def test_json_is_byte_deterministic(self, capsys):
+        payloads = []
+        for _ in range(2):
+            assert main(["profile", "--smoke", "--json"]) == 0
+            payloads.append(capsys.readouterr().out)
+        assert payloads[0] == payloads[1]
+        section = json.loads(payloads[0])
+        shares = sum(
+            stat["share"] for stat in section["phases"].values()
+        )
+        assert abs(shares - 1.0) <= 1e-9
+
+    def test_steady_preset_prints_cost_centers(self, capsys):
+        assert main([
+            "profile", "--preset", "steady", "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cost centers" in out
+        assert "transfer" in out
+
+    def test_trace_out_writes_counter_tracks(self, tmp_path, capsys):
+        target = tmp_path / "profile.json"
+        assert main([
+            "profile", "--smoke", "--trace-out", str(target),
+        ]) == 0
+        document = json.loads(target.read_text())
+        counter_events = [
+            event for event in document["traceEvents"]
+            if event["ph"] == "C"
+        ]
+        assert counter_events
+        assert all(
+            event["name"].startswith("profile.")
+            for event in counter_events
+        )
+
+    def test_obs_report_cluster_preset(self, capsys):
+        assert main(["obs-report", "--cluster"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster.handoffs_total" in out
 
 
 class TestExtensionExperimentsViaCli:

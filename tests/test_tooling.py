@@ -124,6 +124,34 @@ class TestBenchPerfSchema:
             # The tracing acceptance budget only binds at full scale;
             # smoke walls are sub-millisecond noise.
             assert overhead["within_budget"] is True, overhead
+        from repro.obs import PHASES
+
+        profile = record["profile"]
+        assert {
+            "params", "phases", "top", "total_cost_s", "total_ops",
+            "per_stream", "per_drive", "per_node", "checkpoints",
+            "rounds", "blocks_delivered", "misses",
+        } <= set(profile), profile
+        assert set(profile["phases"]) == set(PHASES)
+        share_sum = sum(
+            phase["share"] for phase in profile["phases"].values()
+        )
+        assert abs(share_sum - 1.0) <= 1e-9, share_sum
+        assert profile["total_ops"] > 0
+        assert profile["checkpoints"] >= 1
+        assert profile["blocks_delivered"] == (
+            profile["params"]["streams"]
+            * profile["params"]["blocks_per_stream"]
+        )
+        top = profile["top"]
+        assert len(top) >= 3, "cost-center ranking is degenerate"
+        costs = [entry["cost_s"] for entry in top]
+        assert costs == sorted(costs, reverse=True), (
+            "cost centers must be ranked by descending cost"
+        )
+        if record["mode"] == "full":
+            # The acceptance scale point: the n=1000 profile.
+            assert profile["params"]["streams"] >= 1000
 
     def test_smoke_run_emits_schema_valid_bench_perf_json(self):
         result = _run_pytest(
@@ -197,8 +225,8 @@ class TestMarkers:
         config = tomllib.loads((ROOT / "pyproject.toml").read_text())
         markers = config["tool"]["pytest"]["ini_options"]["markers"]
         for name in (
-            "chaos", "cluster", "golden", "matrix", "perf", "server",
-            "trace",
+            "chaos", "cluster", "golden", "matrix", "perf", "profile",
+            "server", "trace",
         ):
             assert any(m.startswith(f"{name}:") for m in markers), name
 
@@ -270,6 +298,13 @@ class TestMarkers:
         assert result.returncode == 0, result.stdout + result.stderr
         assert "test_operation_counts" in result.stdout
         assert "test_sweep" in result.stdout
+
+    def test_profile_marker_selects_profiler_tests(self):
+        result = _run_pytest(
+            ["tests/obs", "-m", "profile", "--collect-only", "-q"]
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "test_profiling" in result.stdout
 
 
 class TestServeSmoke:
@@ -445,4 +480,5 @@ class TestCheckScript:
         assert "expt run --smoke" in text
         assert "expt gate" in text
         assert "cluster --smoke" in text
+        assert "profile --smoke" in text
         assert "set -euo pipefail" in text
